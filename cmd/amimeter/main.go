@@ -1,0 +1,85 @@
+// Command amimeter simulates one consumer smart meter: it synthesizes a
+// load profile, measures it, and streams the readings to an AMI head-end
+// (cmd/amiserver). With -underreport it compromises its own reports —
+// a Class 2A attacker in a box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/ami"
+	"repro/internal/dataset"
+	"repro/internal/meter"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("amimeter", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7425", "head-end address")
+	id := fs.String("id", "meter-1", "meter identifier")
+	seed := fs.Int64("seed", 1, "load profile seed")
+	slots := fs.Int("slots", timeseries.SlotsPerDay, "number of readings to report")
+	underreport := fs.Float64("underreport", 0, "fraction to shave off every report (0 = honest, 0.5 = report half)")
+	interval := fs.Duration("interval", 0, "delay between readings (0 = as fast as possible)")
+	retries := fs.Int("retries", 3, "delivery attempts per reading")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *underreport < 0 || *underreport >= 1 {
+		fmt.Fprintln(os.Stderr, "amimeter: -underreport must be in [0, 1)")
+		return 2
+	}
+
+	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: 2, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amimeter:", err)
+		return 1
+	}
+	m, err := meter.New(*id, ds.Consumers[0].Demand, meter.Config{ErrorSigma: 0.005, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amimeter:", err)
+		return 1
+	}
+	if *underreport > 0 {
+		frac := 1 - *underreport
+		m.Compromise(func(_ timeseries.Slot, v float64) float64 { return v * frac })
+		fmt.Fprintf(out, "amimeter: %s COMPROMISED — reporting %.0f%% of measured demand\n", *id, frac*100)
+	}
+
+	client, err := ami.NewReliableClient(*addr, *id, nil, 5*time.Second, *retries, 100*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amimeter:", err)
+		return 1
+	}
+	defer func() { _ = client.Close() }()
+
+	n := *slots
+	if n > m.Slots() {
+		n = m.Slots()
+	}
+	for s := 0; s < n; s++ {
+		r, err := m.Report(timeseries.Slot(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amimeter:", err)
+			return 1
+		}
+		if err := client.Send(r); err != nil {
+			fmt.Fprintln(os.Stderr, "amimeter:", err)
+			return 1
+		}
+		if *interval > 0 {
+			time.Sleep(*interval)
+		}
+	}
+	fmt.Fprintf(out, "amimeter: %s reported %d readings to %s\n", *id, n, *addr)
+	return 0
+}

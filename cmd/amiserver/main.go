@@ -1,0 +1,84 @@
+// Command amiserver runs a standalone AMI head-end: it listens for meter
+// connections, collects readings over the wire protocol, and periodically
+// prints collection statistics. It is the server half of the
+// examples/utilitypipeline scenario, runnable on its own for manual
+// experimentation with cmd/amimeter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ami"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("amiserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7425", "listen address")
+	statsEvery := fs.Duration("stats", 5*time.Second, "statistics print interval")
+	duration := fs.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	head := ami.NewHeadEnd()
+	bound, err := head.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amiserver:", err)
+		return 1
+	}
+	fmt.Fprintf(out, "amiserver: head-end listening on %s\n", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		timer := time.NewTimer(*duration)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			meters := head.Meters()
+			total := 0
+			for _, id := range meters {
+				total += head.Count(id)
+			}
+			fmt.Fprintf(out, "amiserver: %d meters, %d readings collected\n", len(meters), total)
+		case <-stop:
+			fmt.Fprintln(out, "amiserver: shutting down")
+			if err := head.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "amiserver: close:", err)
+				return 1
+			}
+			return 0
+		case <-deadline:
+			meters := head.Meters()
+			total := 0
+			for _, id := range meters {
+				total += head.Count(id)
+			}
+			fmt.Fprintf(out, "amiserver: done — %d meters, %d readings collected\n", len(meters), total)
+			if err := head.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "amiserver: close:", err)
+				return 1
+			}
+			return 0
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ami"
+	"repro/internal/meter"
+	ts "repro/internal/timeseries"
+)
+
+func TestAmiserverCollectsAndExits(t *testing.T) {
+	var out bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-duration", "500ms", "-stats", "100ms"}, &out)
+	}()
+
+	// Wait for the bound address to appear in the output.
+	var addr string
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.After(5 * time.Second)
+	for addr == "" {
+		select {
+		case <-deadline:
+			t.Fatalf("server never reported its address: %q", out.String())
+		default:
+		}
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A meter reports a few readings while the server is up.
+	c, err := ami.Dial(addr, "m1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if err := c.Send(meter.Reading{MeterID: "m1", Slot: ts.Slot(s), KW: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exited %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit on schedule")
+	}
+	if !strings.Contains(out.String(), "1 meters, 5 readings") {
+		t.Errorf("final stats missing: %q", out.String())
+	}
+}
+
+func TestAmiserverBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-bogus"}, &out); code != 2 {
+		t.Error("unknown flag should exit 2")
+	}
+	// Unbindable address.
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &out); code != 1 {
+		t.Error("bad address should exit 1")
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/topology"
+)
+
+// cmdDetect runs the F-DETA detection pipeline over a CER-format CSV file:
+// every consumer is enrolled on the first -train weeks and each remaining
+// complete week is evaluated.
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	path := fs.String("data", "", "CER-format CSV file (required; see `fdeta generate`)")
+	trainWeeks := fs.Int("train", 0, "training weeks (default: all but the last week)")
+	significance := fs.Float64("significance", 0.05, "KLD significance level α")
+	consumer := fs.Int("consumer", 0, "evaluate only this meter ID (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("-data is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	ds, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if ds.Weeks < 3 {
+		return fmt.Errorf("dataset has %d complete weeks; need >= 3 (train + evaluate)", ds.Weeks)
+	}
+	tw := *trainWeeks
+	if tw <= 0 {
+		tw = ds.Weeks - 1
+	}
+	if tw >= ds.Weeks {
+		return fmt.Errorf("training weeks %d must leave at least one evaluation week of %d", tw, ds.Weeks)
+	}
+
+	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(*significance)})
+	if err != nil {
+		return err
+	}
+
+	evaluated, flagged := 0, 0
+	for i := range ds.Consumers {
+		c := &ds.Consumers[i]
+		if *consumer != 0 && c.ID != *consumer {
+			continue
+		}
+		id := fmt.Sprintf("%d", c.ID)
+		train, test, err := c.Demand.Split(tw)
+		if err != nil {
+			return fmt.Errorf("consumer %d: %w", c.ID, err)
+		}
+		if err := framework.Enroll(id, train); err != nil {
+			return fmt.Errorf("consumer %d: %w", c.ID, err)
+		}
+		for w := 0; w < test.Weeks(); w++ {
+			a, err := framework.Evaluate(id, tw+w, test.MustWeek(w))
+			if err != nil {
+				return fmt.Errorf("consumer %d week %d: %w", c.ID, tw+w, err)
+			}
+			evaluated++
+			if a.Anomalous {
+				flagged++
+				fmt.Printf("ALERT consumer %d week %d: %v", c.ID, tw+w, a.Kind)
+				for name, v := range a.Verdicts {
+					if v.Anomalous {
+						fmt.Printf("  [%s score=%.4g threshold=%.4g]", name, v.Score, v.Threshold)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("evaluated %d consumer-weeks, flagged %d\n", evaluated, flagged)
+	return nil
+}
+
+// cmdInvestigate demonstrates step 5 on a generated feeder: a hidden thief,
+// the balance-check sweep, meter alarms, and both localization procedures.
+func cmdInvestigate(args []string) error {
+	fs := flag.NewFlagSet("investigate", flag.ContinueOnError)
+	consumers := fs.Int("consumers", 30, "feeder size")
+	seed := fs.Int64("seed", 4, "feeder seed")
+	compromiseMeters := fs.Bool("compromise-path", false, "let the thief compromise the balance meters on her path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := topology.DefaultBuilderConfig()
+	cfg.Consumers = *consumers
+	cfg.Seed = *seed
+	tree, err := topology.BuildRandom(cfg)
+	if err != nil {
+		return err
+	}
+	snap := topology.NewSnapshot()
+	for _, c := range tree.Consumers() {
+		snap.ConsumerActual[c.ID] = 2
+		snap.ConsumerReported[c.ID] = 2
+	}
+	for _, n := range tree.Internals() {
+		for _, ch := range n.Children {
+			if ch.Kind == topology.Loss {
+				snap.LossCalc[ch.ID] = 0.05
+			}
+		}
+	}
+	all := tree.Consumers()
+	thief := all[len(all)/2].ID
+	snap.ConsumerActual[thief] = 7
+	snap.ConsumerReported[thief] = 1
+	fmt.Printf("feeder: %d consumers; hidden thief: %s (consuming 7 kW, reporting 1 kW)\n", len(all), thief)
+
+	if *compromiseMeters {
+		node, err := tree.Node(thief)
+		if err != nil {
+			return err
+		}
+		var compromised []string
+		for cur := node.Parent; cur != nil && cur.Parent != nil; cur = cur.Parent {
+			if cur.Metered {
+				snap.CompromisedMeters[cur.ID] = true
+				compromised = append(compromised, cur.ID)
+			}
+		}
+		sort.Strings(compromised)
+		fmt.Printf("thief compromised balance meters: %v\n", compromised)
+	}
+
+	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(0.05)})
+	if err != nil {
+		return err
+	}
+	report, err := framework.Investigate(tree, snap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfailing balance checks: %v\n", report.FailingChecks)
+	for _, a := range report.Alarms {
+		fmt.Printf("ALARM %s: %s\n", a.NodeID, a.Reason)
+	}
+	if report.Escalated {
+		fmt.Println("meter-driven localization inconclusive — escalated to the serviceman search")
+	}
+	fmt.Printf("localization (%d nodes examined): suspects %v\n",
+		report.Investigation.NodesVisited, report.Investigation.Suspects)
+	if len(report.Investigation.DeepestFailures) > 0 {
+		fmt.Printf("deepest failing meters: %v\n", report.Investigation.DeepestFailures)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatcher(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown", []string{"bogus"}, 2},
+		{"help", []string{"help"}, 0},
+		{"table1", []string{"table1"}, 0},
+		{"fig1", []string{"fig1"}, 0},
+		{"fig2", []string{"fig2"}, 0},
+		{"validate", []string{"validate"}, 0},
+		{"investigate", []string{"investigate", "-consumers", "10"}, 0},
+		{"investigate compromised", []string{"investigate", "-consumers", "10", "-compromise-path"}, 0},
+		{"bill", []string{"bill", "-consumers", "3", "-theft", "0.5"}, 0},
+		{"bill bad theft", []string{"bill", "-theft", "2"}, 1},
+		{"bad flag", []string{"table1", "-nope"}, 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunGenerateAndDetect(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ds.csv")
+	if got := run([]string{"generate", "-o", csv}); got != 0 {
+		t.Fatalf("generate exited %d", got)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("dataset not written: %v", err)
+	}
+	if got := run([]string{"detect", "-data", csv, "-train", "18"}); got != 0 {
+		t.Fatalf("detect exited %d", got)
+	}
+	// Single-consumer filter path.
+	if got := run([]string{"detect", "-data", csv, "-train", "18", "-consumer", "1000"}); got != 0 {
+		t.Fatalf("detect -consumer exited %d", got)
+	}
+	// Missing -data is an error.
+	if got := run([]string{"detect"}); got != 1 {
+		t.Error("detect without -data should fail")
+	}
+	// Unreadable file is an error.
+	if got := run([]string{"detect", "-data", filepath.Join(dir, "missing.csv")}); got != 1 {
+		t.Error("missing dataset should fail")
+	}
+}
+
+func TestRunFigureOutputs(t *testing.T) {
+	dir := t.TempDir()
+	fig3 := filepath.Join(dir, "fig3.csv")
+	if got := run([]string{"fig3", "-consumers", "3", "-o", fig3}); got != 0 {
+		t.Fatalf("fig3 exited nonzero")
+	}
+	data, err := os.ReadFile(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "slot,actual_kw") {
+		t.Error("fig3 CSV header missing")
+	}
+	fig4 := filepath.Join(dir, "fig4.csv")
+	if got := run([]string{"fig4", "-consumers", "3", "-o", fig4}); got != 0 {
+		t.Fatalf("fig4 exited nonzero")
+	}
+	data, err = os.ReadFile(fig4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "attack_kld") {
+		t.Error("fig4 CSV missing KLD block")
+	}
+}
+
+func TestRunSimulateAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI path")
+	}
+	if got := run([]string{"simulate", "-consumers", "5", "-train", "12", "-weeks", "5"}); got != 0 {
+		t.Error("simulate exited nonzero")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "r.md")
+	if got := run([]string{"report", "-consumers", "6", "-trials", "3", "-o", report}); got != 0 {
+		t.Fatal("report exited nonzero")
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## Table I", "## Table II", "## Table III", "Headline", "Multi-victim"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunEvalCommandsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI path")
+	}
+	for _, args := range [][]string{
+		{"table2", "-consumers", "5", "-trials", "3"},
+		{"table3", "-consumers", "5", "-trials", "3", "-summary"},
+		{"ttd", "-consumers", "5", "-trials", "3"},
+		{"fp-profile", "-consumers", "5"},
+		{"baselines", "-consumers", "5", "-trials", "3"},
+		{"spread", "-consumers", "8", "-kwh", "100"},
+		{"ablate-divergence", "-consumers", "5", "-trials", "3"},
+	} {
+		if got := run(args); got != 0 {
+			t.Errorf("run(%v) exited nonzero", args)
+		}
+	}
+}

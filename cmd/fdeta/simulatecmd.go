@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/sim"
+)
+
+// cmdSimulate runs a scripted multi-week feeder simulation: honest weeks, a
+// Class-2A thief, a balance-evading Class-2B pair, and an over-consuming
+// Class-1A tap, with the full utility stack scoring each week.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	consumers := fs.Int("consumers", 8, "feeder population")
+	trainWeeks := fs.Int("train", 20, "training weeks")
+	liveWeeks := fs.Int("weeks", 5, "live weeks to simulate")
+	seed := fs.Int64("seed", 90, "population seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *consumers < 4 {
+		return fmt.Errorf("need at least 4 consumers for the default script")
+	}
+	if *liveWeeks < 5 {
+		return fmt.Errorf("need at least 5 live weeks for the default script")
+	}
+
+	sc := sim.Scenario{
+		Consumers:  *consumers,
+		TrainWeeks: *trainWeeks,
+		LiveWeeks:  *liveWeeks,
+		Seed:       *seed,
+		Attacks: []sim.AttackScript{
+			// Week 0 is clean.
+			{Week: 1, Class: attack.Class2A, Attacker: 1, Magnitude: 0.8},
+			{Week: 2, Class: attack.Class2B, Attacker: 2, Victim: 3, Magnitude: 0.7},
+			{Week: 3, Class: attack.Class1A, Attacker: 0, Magnitude: 2.5},
+			{Week: 4, Class: attack.Class3A, Attacker: 1},
+		},
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulated %d consumers, %d live weeks\n\n", *consumers, *liveWeeks)
+	fmt.Println("week  balance  unaccounted(kWh)  revenue($)  flags / ground truth")
+	for _, w := range res.Weeks {
+		balance := "PASS"
+		if !w.RootBalanced {
+			balance = "FAIL"
+		}
+		fmt.Printf("%4d  %7s  %16.1f  %10.2f  ", w.Week, balance, w.UnaccountedKWh, w.RevenueUSD)
+		if len(w.Flags) == 0 {
+			fmt.Print("none")
+		}
+		for i, f := range w.Flags {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s(%v)", f.ConsumerID, f.Kind)
+		}
+		fmt.Printf("  /  %v\n", w.AttackActive)
+	}
+	fmt.Printf("\nstolen: %.1f kWh total\n", res.StolenKWh)
+	fmt.Printf("consumer-week detection: TP=%d FP=%d FN=%d (precision %.0f%%, recall %.0f%%)\n",
+		res.TruePositives, res.FalsePositives, res.FalseNegatives,
+		100*res.Precision(), 100*res.Recall())
+	fmt.Println("\nnotes: week 3's Class-1A tap is invisible to data-driven detection by design")
+	fmt.Println("(the report is perfectly normal) — the balance-check FAIL is what catches it;")
+	fmt.Println("week 4's Class-3A swap fails the per-slot balance check yet leaves ZERO")
+	fmt.Println("unaccounted energy — only time was lied about, not quantity (Table I row 2).")
+	return nil
+}

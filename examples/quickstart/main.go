@@ -1,0 +1,92 @@
+// Quickstart: train the F-DETA detector stack on one consumer, inject the
+// paper's Integrated ARIMA attack, and watch the KLD detector catch what
+// the state-of-the-art baseline misses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Data: one synthetic consumer with 30 weeks of half-hourly
+	//    readings (the real paper uses the Irish CER trial data).
+	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: 30, Seed: 42})
+	if err != nil {
+		return err
+	}
+	consumer := ds.Consumers[0]
+	train, test, err := consumer.Demand.Split(28)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consumer %d: %d weeks training, %d weeks test\n",
+		consumer.ID, train.Weeks(), test.Weeks())
+
+	// 2. Enroll the consumer in the F-DETA framework (step 1 of the
+	//    Section VII pipeline: build the expectation model).
+	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(0.05)})
+	if err != nil {
+		return err
+	}
+	if err := framework.Enroll("consumer", train); err != nil {
+		return err
+	}
+
+	// 3. A normal week sails through.
+	normal := test.MustWeek(0)
+	assessment, err := framework.Evaluate("consumer", 0, normal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("normal week:  anomalous=%v\n", assessment.Anomalous)
+
+	// 4. Mallory crafts the Integrated ARIMA attack: she replicates the
+	//    utility's Integrated ARIMA detector and samples readings that pass
+	//    its confidence-interval, mean, and variance checks.
+	replica, err := detect.NewIntegratedARIMADetector(train, detect.IntegratedARIMAConfig{})
+	if err != nil {
+		return err
+	}
+	vector, err := attack.IntegratedARIMAAttack(replica, attack.Up, attack.IntegratedARIMAConfig{}, stats.NewRand(7))
+	if err != nil {
+		return err
+	}
+	baselineVerdict, err := replica.Detect(vector)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attack week:  integrated-ARIMA detector anomalous=%v (the attack is built to evade it)\n",
+		baselineVerdict.Anomalous)
+
+	// 5. The framework's KLD layer sees the distribution shift.
+	assessment, err = framework.Evaluate("consumer", 1, vector)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attack week:  F-DETA anomalous=%v, label=%v\n", assessment.Anomalous, assessment.Kind)
+	for name, v := range assessment.Verdicts {
+		fmt.Printf("  %-18s anomalous=%-5v score=%.4f threshold=%.4f\n",
+			name, v.Anomalous, v.Score, v.Threshold)
+	}
+	if !assessment.Anomalous {
+		return fmt.Errorf("expected the KLD detector to flag the attack")
+	}
+	fmt.Println("\nF-DETA detected an attack the state-of-the-art baseline missed.")
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package adr models Automated Demand Response (ADR), the substrate Attack
+// Class 4B requires (Section VI-B of the paper). The paper defers 4B's
+// evaluation to future work because the CER dataset has no price-response
+// data; this package supplies the missing piece with the paper's own cited
+// model: the Consumer Own Elasticity function of ref [26], a monotonically
+// decreasing demand response to price.
+//
+// An ADR interface receives a price signal (trusted or spoofed) and scales
+// the consumer's flexible load accordingly. Attack Class 4B spoofs the
+// price seen by a victim's ADR interface upward, suppressing the victim's
+// real consumption, while the victim's compromised meter keeps reporting
+// the unsuppressed baseline — freeing capacity that the attacker consumes.
+package adr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// ElasticConsumer models price-responsive demand with constant own-price
+// elasticity:
+//
+//	D(λ) = D_base · (λ / λ_base)^ε, with ε < 0.
+//
+// A FlexibleFraction below 1 models the realistic case where only part of
+// the load (HVAC, EV charging, ...) responds to price while the rest
+// (refrigeration, lighting) is inelastic.
+type ElasticConsumer struct {
+	// Elasticity ε is negative: higher price, lower consumption.
+	Elasticity float64
+	// BasePrice λ_base is the reference price at which demand equals the
+	// baseline ($/kWh).
+	BasePrice float64
+	// FlexibleFraction in [0, 1] is the share of load that responds.
+	FlexibleFraction float64
+}
+
+// NewElasticConsumer validates and constructs the model.
+func NewElasticConsumer(elasticity, basePrice, flexibleFraction float64) (ElasticConsumer, error) {
+	if elasticity >= 0 {
+		return ElasticConsumer{}, fmt.Errorf("adr: elasticity must be negative, got %g", elasticity)
+	}
+	if basePrice <= 0 {
+		return ElasticConsumer{}, fmt.Errorf("adr: base price must be positive, got %g", basePrice)
+	}
+	if flexibleFraction < 0 || flexibleFraction > 1 {
+		return ElasticConsumer{}, fmt.Errorf("adr: flexible fraction %g outside [0, 1]", flexibleFraction)
+	}
+	return ElasticConsumer{
+		Elasticity:       elasticity,
+		BasePrice:        basePrice,
+		FlexibleFraction: flexibleFraction,
+	}, nil
+}
+
+// ResponseFactor returns the demand multiplier for a given price.
+func (e ElasticConsumer) ResponseFactor(price float64) float64 {
+	if price <= 0 {
+		price = 1e-6 // price floor keeps the power law defined
+	}
+	flex := math.Pow(price/e.BasePrice, e.Elasticity)
+	return (1 - e.FlexibleFraction) + e.FlexibleFraction*flex
+}
+
+// Respond returns the consumption that results from the baseline demand
+// under the given per-slot prices. Baseline and prices must align.
+func (e ElasticConsumer) Respond(baseline timeseries.Series, prices []float64) (timeseries.Series, error) {
+	if len(baseline) != len(prices) {
+		return nil, fmt.Errorf("adr: baseline length %d != price trace length %d", len(baseline), len(prices))
+	}
+	out := make(timeseries.Series, len(baseline))
+	for i, d := range baseline {
+		out[i] = d * e.ResponseFactor(prices[i])
+	}
+	return out, nil
+}
+
+// RespondRelative returns the consumption resulting from the baseline when
+// the ADR interface sees seenPrices instead of truePrices. The baseline is
+// by definition the consumption under the true prices, so the response
+// factor is relative: D(t) = base(t) · [(1-f) + f · (seen/true)^ε]. This is
+// the form Attack Class 4B needs — any spoofed price above the true price
+// suppresses demand regardless of the absolute price level.
+func (e ElasticConsumer) RespondRelative(baseline timeseries.Series, truePrices, seenPrices []float64) (timeseries.Series, error) {
+	if len(baseline) != len(truePrices) || len(baseline) != len(seenPrices) {
+		return nil, fmt.Errorf("adr: length mismatch (baseline %d, true %d, seen %d)",
+			len(baseline), len(truePrices), len(seenPrices))
+	}
+	out := make(timeseries.Series, len(baseline))
+	for i, d := range baseline {
+		tp := truePrices[i]
+		sp := seenPrices[i]
+		if tp <= 0 {
+			tp = 1e-6
+		}
+		if sp <= 0 {
+			sp = 1e-6
+		}
+		flex := math.Pow(sp/tp, e.Elasticity)
+		out[i] = d * ((1 - e.FlexibleFraction) + e.FlexibleFraction*flex)
+	}
+	return out, nil
+}
+
+// SpoofPrices returns the spoofed price trace λ'(t) = factor · λ(t) that
+// Attack Class 4B feeds a victim's ADR interface. Factor must exceed 1 —
+// the attack needs λ'(t) > λ(t) so the victim's consumption drops.
+func SpoofPrices(truePrices []float64, factor float64) ([]float64, error) {
+	if factor <= 1 {
+		return nil, fmt.Errorf("adr: spoof factor must exceed 1, got %g", factor)
+	}
+	out := make([]float64, len(truePrices))
+	for i, p := range truePrices {
+		out[i] = p * factor
+	}
+	return out, nil
+}
+
+// PriceTraceFor materializes per-slot prices for a window from a pricing
+// scheme via its Price method.
+func PriceTraceFor(price func(timeseries.Slot) float64, start timeseries.Slot, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = price(start + timeseries.Slot(i))
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package adr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timeseries"
+)
+
+func TestNewElasticConsumerValidation(t *testing.T) {
+	if _, err := NewElasticConsumer(0.5, 0.2, 1); err == nil {
+		t.Error("positive elasticity should be rejected")
+	}
+	if _, err := NewElasticConsumer(-0.3, 0, 1); err == nil {
+		t.Error("zero base price should be rejected")
+	}
+	if _, err := NewElasticConsumer(-0.3, 0.2, 1.5); err == nil {
+		t.Error("flexible fraction > 1 should be rejected")
+	}
+	if _, err := NewElasticConsumer(-0.3, 0.2, 0.5); err != nil {
+		t.Error("valid parameters rejected")
+	}
+}
+
+func TestResponseFactorMonotoneDecreasing(t *testing.T) {
+	e, err := NewElasticConsumer(-0.4, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the base price the factor is exactly 1.
+	if got := e.ResponseFactor(0.2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("factor at base price = %g, want 1", got)
+	}
+	// Higher price, lower consumption (the Consumer Own Elasticity model
+	// is monotonically decreasing, Section VI-B).
+	prev := math.Inf(1)
+	for p := 0.05; p < 1.0; p += 0.05 {
+		f := e.ResponseFactor(p)
+		if f >= prev {
+			t.Fatalf("response factor not strictly decreasing at price %g", p)
+		}
+		prev = f
+	}
+}
+
+func TestResponseFactorFlexibleFraction(t *testing.T) {
+	// With only 40% flexible load, doubling the price cannot cut demand
+	// below the 60% inelastic floor.
+	e, _ := NewElasticConsumer(-2, 0.2, 0.4)
+	f := e.ResponseFactor(100) // absurd price
+	if f < 0.6-1e-9 {
+		t.Errorf("factor = %g, must not drop below inelastic floor 0.6", f)
+	}
+	// Fully flexible load has no floor.
+	full, _ := NewElasticConsumer(-2, 0.2, 1)
+	if full.ResponseFactor(100) > 0.01 {
+		t.Error("fully flexible load should collapse at absurd prices")
+	}
+}
+
+func TestResponseFactorPriceFloor(t *testing.T) {
+	e, _ := NewElasticConsumer(-0.5, 0.2, 1)
+	f := e.ResponseFactor(0)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		t.Errorf("zero price must not produce NaN/Inf, got %g", f)
+	}
+}
+
+func TestRespond(t *testing.T) {
+	e, _ := NewElasticConsumer(-1, 0.2, 1)
+	base := timeseries.Series{2, 2}
+	prices := []float64{0.2, 0.4}
+	out, err := e.Respond(base, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-2) > 1e-12 {
+		t.Errorf("out[0] = %g, want 2 (base price)", out[0])
+	}
+	if math.Abs(out[1]-1) > 1e-12 {
+		t.Errorf("out[1] = %g, want 1 (price doubled, elasticity -1)", out[1])
+	}
+	if _, err := e.Respond(base, []float64{0.1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRespondRelative(t *testing.T) {
+	e, _ := NewElasticConsumer(-1, 0.2, 1)
+	base := timeseries.Series{2, 2, 2}
+	truePrices := []float64{0.1, 0.2, 0.4}
+	// Seen == true: no change regardless of absolute price level.
+	out, err := e.RespondRelative(base, truePrices, truePrices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-2) > 1e-12 {
+			t.Errorf("slot %d: %g, want 2 (no spoof, no change)", i, v)
+		}
+	}
+	// Seen = 2x true: with elasticity -1 and full flexibility, demand halves
+	// at every slot — even where the absolute price is below the base rate.
+	spoofed := []float64{0.2, 0.4, 0.8}
+	out, err = e.RespondRelative(base, truePrices, spoofed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("slot %d: %g, want 1 (doubled price, elasticity -1)", i, v)
+		}
+	}
+	// Partial flexibility floors the response.
+	part, _ := NewElasticConsumer(-1, 0.2, 0.5)
+	out, _ = part.RespondRelative(base, truePrices, spoofed)
+	want := 2 * (0.5 + 0.5*0.5)
+	if math.Abs(out[0]-want) > 1e-12 {
+		t.Errorf("partial flexibility: %g, want %g", out[0], want)
+	}
+	// Zero prices degrade gracefully.
+	out, err = e.RespondRelative(timeseries.Series{1}, []float64{0}, []float64{0})
+	if err != nil || math.IsNaN(out[0]) {
+		t.Errorf("zero prices must not NaN: %v %v", out, err)
+	}
+	// Length mismatches error.
+	if _, err := e.RespondRelative(base, truePrices[:2], spoofed); err == nil {
+		t.Error("true-price length mismatch should error")
+	}
+	if _, err := e.RespondRelative(base, truePrices, spoofed[:2]); err == nil {
+		t.Error("seen-price length mismatch should error")
+	}
+}
+
+func TestSpoofPrices(t *testing.T) {
+	spoofed, err := SpoofPrices([]float64{0.1, 0.2}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spoofed[0] != 0.15000000000000002 && math.Abs(spoofed[0]-0.15) > 1e-12 {
+		t.Errorf("spoofed[0] = %g", spoofed[0])
+	}
+	if _, err := SpoofPrices([]float64{0.1}, 1); err == nil {
+		t.Error("factor <= 1 should be rejected")
+	}
+	if _, err := SpoofPrices([]float64{0.1}, 0.5); err == nil {
+		t.Error("deflating factor should be rejected")
+	}
+}
+
+func TestPriceTraceFor(t *testing.T) {
+	price := func(s timeseries.Slot) float64 { return float64(s) * 0.01 }
+	trace := PriceTraceFor(price, 10, 3)
+	if len(trace) != 3 || trace[0] != 0.1 || trace[2] != 0.12 {
+		t.Errorf("trace = %v", trace)
+	}
+}
+
+func TestRespondNonNegativeProperty(t *testing.T) {
+	e, _ := NewElasticConsumer(-0.7, 0.2, 0.8)
+	f := func(demand, price float64) bool {
+		d := math.Abs(demand)
+		p := math.Abs(price)
+		if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e6 || math.IsNaN(p) || math.IsInf(p, 0) || p > 1e3 {
+			return true
+		}
+		out, err := e.Respond(timeseries.Series{d}, []float64{p})
+		if err != nil {
+			return false
+		}
+		return out[0] >= 0 && !math.IsNaN(out[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package ami
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/meter"
+)
+
+// Client is a meter-side connection to the head-end.
+type Client struct {
+	conn    net.Conn
+	codec   *Codec
+	meterID string
+	timeout time.Duration
+	key     []byte // optional HMAC signing key
+}
+
+// Dial connects to the head-end and performs the hello handshake.
+func Dial(addr, meterID string, timeout time.Duration) (*Client, error) {
+	return DialAuth(addr, meterID, nil, timeout)
+}
+
+// DialAuth is Dial with a per-meter HMAC key: every reading sent is signed
+// so a man-in-the-middle cannot rewrite it undetected. An attacker who
+// compromises the meter itself obtains the key, which is exactly why the
+// paper insists crypto alone cannot stop theft (Section I).
+func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client, error) {
+	if meterID == "" {
+		return nil, fmt.Errorf("ami: meter ID is required")
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ami: dialing head-end: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		codec:   NewCodec(conn),
+		meterID: meterID,
+		timeout: timeout,
+		key:     append([]byte(nil), key...),
+	}
+	if err := c.codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{MeterID: meterID}}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Send reports one reading and waits for the acknowledgement.
+func (c *Client) Send(r meter.Reading) error {
+	if r.MeterID != c.meterID {
+		return fmt.Errorf("ami: reading meter ID %q does not match client %q", r.MeterID, c.meterID)
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return fmt.Errorf("ami: setting deadline: %w", err)
+	}
+	env := &Envelope{Type: TypeReading, Reading: &ReadingMsg{
+		MeterID: r.MeterID,
+		Slot:    int64(r.Slot),
+		KW:      r.KW,
+	}}
+	if len(c.key) > 0 {
+		env.Auth = SignReading(c.key, env.Reading)
+	}
+	if err := c.codec.Send(env); err != nil {
+		return err
+	}
+	resp, err := c.codec.Recv()
+	if err != nil {
+		return fmt.Errorf("ami: waiting for ack: %w", err)
+	}
+	switch resp.Type {
+	case TypeAck:
+		if resp.Ack.Slot != int64(r.Slot) {
+			return fmt.Errorf("ami: ack for slot %d, expected %d", resp.Ack.Slot, r.Slot)
+		}
+		return nil
+	case TypeError:
+		return fmt.Errorf("ami: head-end rejected reading: %s", resp.Error)
+	default:
+		return fmt.Errorf("ami: unexpected response type %q", resp.Type)
+	}
+}
+
+// SendAll reports a batch of readings in order, stopping at the first error.
+func (c *Client) SendAll(rs []meter.Reading) error {
+	for i := range rs {
+		if err := c.Send(rs[i]); err != nil {
+			return fmt.Errorf("ami: reading %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

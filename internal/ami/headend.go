@@ -1,0 +1,212 @@
+package ami
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/timeseries"
+)
+
+// HeadEnd is the utility-side collection server. It accepts meter
+// connections, stores acknowledged readings, and exposes them to the
+// control-center detection pipeline.
+type HeadEnd struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	readings map[string]map[timeseries.Slot]float64
+	closed   bool
+	keyring  *Keyring
+	authFail int
+
+	wg sync.WaitGroup
+}
+
+// NewHeadEnd creates an idle head-end.
+func NewHeadEnd() *HeadEnd {
+	return &HeadEnd{
+		readings: make(map[string]map[timeseries.Slot]float64),
+	}
+}
+
+// SetKeyring enables per-reading HMAC verification. Must be called before
+// Listen. Readings that fail verification are rejected with an error
+// envelope and never stored.
+func (h *HeadEnd) SetKeyring(kr *Keyring) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.keyring = kr
+}
+
+// AuthFailures returns how many readings were rejected for bad MACs.
+func (h *HeadEnd) AuthFailures() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.authFail
+}
+
+// Listen starts accepting connections on the given address ("127.0.0.1:0"
+// for an ephemeral test port) and returns the bound address.
+func (h *HeadEnd) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ami: head-end listen: %w", err)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = ln.Close()
+		return "", fmt.Errorf("ami: head-end already closed")
+	}
+	h.ln = ln
+	h.mu.Unlock()
+
+	h.wg.Add(1)
+	go h.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (h *HeadEnd) acceptLoop(ln net.Listener) {
+	defer h.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed: normal shutdown.
+			return
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.handle(conn)
+		}()
+	}
+}
+
+// handle serves one meter connection until EOF or protocol error.
+func (h *HeadEnd) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	codec := NewCodec(conn)
+
+	// First envelope must be a hello.
+	first, err := codec.Recv()
+	if err != nil {
+		return
+	}
+	if first.Type != TypeHello {
+		_ = codec.Send(&Envelope{Type: TypeError, Error: "expected hello"})
+		return
+	}
+	meterID := first.Hello.MeterID
+
+	for {
+		env, err := codec.Recv()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			_ = codec.Send(&Envelope{Type: TypeError, Error: err.Error()})
+			return
+		}
+		if env.Type != TypeReading {
+			_ = codec.Send(&Envelope{Type: TypeError, Error: "expected reading"})
+			return
+		}
+		if env.Reading.MeterID != meterID {
+			_ = codec.Send(&Envelope{Type: TypeError,
+				Error: fmt.Sprintf("meter ID %q does not match session %q", env.Reading.MeterID, meterID)})
+			return
+		}
+		h.mu.Lock()
+		kr := h.keyring
+		h.mu.Unlock()
+		if kr != nil {
+			if err := kr.VerifyEnvelope(env); err != nil {
+				h.mu.Lock()
+				h.authFail++
+				h.mu.Unlock()
+				_ = codec.Send(&Envelope{Type: TypeError, Error: err.Error()})
+				return
+			}
+		}
+		h.store(env.Reading)
+		if err := codec.Send(&Envelope{Type: TypeAck, Ack: &AckMsg{Slot: env.Reading.Slot}}); err != nil {
+			return
+		}
+	}
+}
+
+func (h *HeadEnd) store(r *ReadingMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.readings[r.MeterID]
+	if !ok {
+		m = make(map[timeseries.Slot]float64)
+		h.readings[r.MeterID] = m
+	}
+	m[timeseries.Slot(r.Slot)] = r.KW
+}
+
+// Close stops the listener and waits for every connection handler to exit.
+func (h *HeadEnd) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	ln := h.ln
+	h.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+// Meters returns the IDs that have reported at least one reading, sorted.
+func (h *HeadEnd) Meters() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.readings))
+	for id := range h.readings {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored readings for a meter.
+func (h *HeadEnd) Count(meterID string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.readings[meterID])
+}
+
+// Reading fetches one stored reading.
+func (h *HeadEnd) Reading(meterID string, slot timeseries.Slot) (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.readings[meterID][slot]
+	return v, ok
+}
+
+// Series assembles the dense series [0, n) for a meter. Missing slots are
+// an error: the detection pipeline must not silently treat gaps as zero
+// consumption (that is what a 2A attack looks like).
+func (h *HeadEnd) Series(meterID string, n int) (timeseries.Series, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.readings[meterID]
+	if !ok {
+		return nil, fmt.Errorf("ami: no readings for meter %q", meterID)
+	}
+	out := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		v, ok := m[timeseries.Slot(i)]
+		if !ok {
+			return nil, fmt.Errorf("ami: meter %q missing reading for slot %d", meterID, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

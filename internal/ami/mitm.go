@@ -1,0 +1,148 @@
+package ami
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// RewriteFunc intercepts a reading in flight and returns the (possibly
+// falsified) reading to forward. Returning the input unchanged passes the
+// reading through.
+type RewriteFunc func(ReadingMsg) ReadingMsg
+
+// MITM is a man-in-the-middle proxy between meters and the head-end. It
+// decodes the wire protocol, applies a rewrite function to readings, and
+// forwards everything else untouched — the concrete mechanism behind every
+// "compromised communication link" attack in the paper. Acks flow back to
+// the meter for the *original* slot, so the victim meter observes a
+// perfectly healthy session.
+type MITM struct {
+	upstream string
+	rewrite  RewriteFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	nSeen  int
+	nRewr  int
+
+	wg sync.WaitGroup
+}
+
+// NewMITM creates a proxy that forwards to the given upstream head-end
+// address, rewriting readings with rw (nil passes everything through).
+func NewMITM(upstream string, rw RewriteFunc) *MITM {
+	return &MITM{upstream: upstream, rewrite: rw}
+}
+
+// Listen starts the proxy and returns its bound address.
+func (m *MITM) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ami: mitm listen: %w", err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		_ = ln.Close()
+		return "", fmt.Errorf("ami: mitm already closed")
+	}
+	m.ln = ln
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go m.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (m *MITM) acceptLoop(ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handle(conn)
+		}()
+	}
+}
+
+func (m *MITM) handle(down net.Conn) {
+	defer func() { _ = down.Close() }()
+	up, err := net.Dial("tcp", m.upstream)
+	if err != nil {
+		return
+	}
+	defer func() { _ = up.Close() }()
+
+	downCodec := NewCodec(down)
+	upCodec := NewCodec(up)
+
+	// Downstream -> upstream with rewriting; responses relayed inline (the
+	// protocol is strictly request/response after the hello).
+	for {
+		env, err := downCodec.Recv()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			return
+		}
+		if env.Type == TypeReading && m.rewrite != nil {
+			orig := *env.Reading
+			rewritten := m.rewrite(orig)
+			m.mu.Lock()
+			m.nSeen++
+			if rewritten != orig {
+				m.nRewr++
+			}
+			m.mu.Unlock()
+			env.Reading = &rewritten
+		} else if env.Type == TypeReading {
+			m.mu.Lock()
+			m.nSeen++
+			m.mu.Unlock()
+		}
+		if err := upCodec.Send(env); err != nil {
+			return
+		}
+		if env.Type == TypeHello {
+			continue // hello has no response
+		}
+		resp, err := upCodec.Recv()
+		if err != nil {
+			return
+		}
+		if err := downCodec.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Stats returns how many readings passed through and how many were
+// rewritten.
+func (m *MITM) Stats() (seen, rewritten int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nSeen, m.nRewr
+}
+
+// Close stops the proxy and waits for active sessions to finish.
+func (m *MITM) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	ln := m.ln
+	m.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	m.wg.Wait()
+	return err
+}

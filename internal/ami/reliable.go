@@ -1,0 +1,120 @@
+package ami
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/meter"
+)
+
+// ReliableClient wraps Client with redial-and-retry. Delivery is safe to
+// retry because the head-end stores readings idempotently by (meter, slot):
+// a reading acknowledged after a lost ack is simply overwritten with the
+// same value. Real AMI deployments need exactly this property — field
+// networks (PLC, mesh radio) drop constantly.
+type ReliableClient struct {
+	addr    string
+	meterID string
+	key     []byte
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	c *Client
+}
+
+// NewReliableClient configures a reliable sender. retries is the number of
+// redial attempts per reading (minimum 1); backoff is the delay between
+// attempts (0 for tests).
+func NewReliableClient(addr, meterID string, key []byte, timeout time.Duration, retries int, backoff time.Duration) (*ReliableClient, error) {
+	if meterID == "" {
+		return nil, fmt.Errorf("ami: meter ID is required")
+	}
+	if retries < 1 {
+		retries = 1
+	}
+	return &ReliableClient{
+		addr:    addr,
+		meterID: meterID,
+		key:     append([]byte(nil), key...),
+		timeout: timeout,
+		retries: retries,
+		backoff: backoff,
+	}, nil
+}
+
+// ensure dials if no live session exists.
+func (rc *ReliableClient) ensure() error {
+	if rc.c != nil {
+		return nil
+	}
+	c, err := DialAuth(rc.addr, rc.meterID, rc.key, rc.timeout)
+	if err != nil {
+		return err
+	}
+	rc.c = c
+	return nil
+}
+
+// drop closes and forgets the current session.
+func (rc *ReliableClient) drop() {
+	if rc.c != nil {
+		_ = rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// Send delivers one reading, redialing on transport errors up to the retry
+// budget. Protocol-level rejections (authentication failure, session
+// mismatch) are returned immediately: retrying a rejected reading cannot
+// succeed.
+func (rc *ReliableClient) Send(r meter.Reading) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.retries; attempt++ {
+		if attempt > 0 && rc.backoff > 0 {
+			time.Sleep(rc.backoff)
+		}
+		if err := rc.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		err := rc.c.Send(r)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// A head-end rejection arrives as a well-formed error response on a
+		// healthy connection; give up immediately.
+		if isRejection(err) {
+			return err
+		}
+		rc.drop()
+	}
+	return fmt.Errorf("ami: giving up after %d attempts: %w", rc.retries, lastErr)
+}
+
+// isRejection distinguishes protocol rejections from transport failures.
+func isRejection(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "head-end rejected reading")
+}
+
+// SendAll delivers a batch, retrying each reading independently.
+func (rc *ReliableClient) SendAll(rs []meter.Reading) error {
+	for i := range rs {
+		if err := rc.Send(rs[i]); err != nil {
+			return fmt.Errorf("ami: reading %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close terminates any live session.
+func (rc *ReliableClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}

@@ -1,0 +1,89 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Diagnostics summarizes how well a fitted model whitened its residuals.
+// A sound fit leaves residuals that look like white noise; strong residual
+// autocorrelation means structure the model missed (for consumption data,
+// usually the daily/weekly seasonality a plain low-order ARIMA cannot
+// capture — which is why the detectors calibrate their thresholds
+// empirically rather than trusting the model's error bars).
+type Diagnostics struct {
+	// N is the number of residuals analyzed.
+	N int
+	// ResidualMean and ResidualStd describe the residual distribution.
+	ResidualMean float64
+	ResidualStd  float64
+	// ACF holds residual autocorrelations for lags 1..len(ACF).
+	ACF []float64
+	// LjungBox is the portmanteau statistic over the ACF lags; under
+	// whiteness it is approximately chi-squared with len(ACF) degrees of
+	// freedom.
+	LjungBox float64
+	// WhiteAt05 reports whether LjungBox stays under the chi-squared 95th
+	// percentile for its degrees of freedom — i.e. the residuals pass a 5%
+	// whiteness test.
+	WhiteAt05 bool
+}
+
+// chiSquared95 approximates the 95th percentile of the chi-squared
+// distribution with k degrees of freedom using the Wilson-Hilferty cube
+// approximation, accurate to a fraction of a percent for k >= 3.
+func chiSquared95(k int) float64 {
+	if k <= 0 {
+		return math.NaN()
+	}
+	z := 1.6448536269514722 // standard normal 95th percentile
+	kf := float64(k)
+	t := 1 - 2/(9*kf) + z*math.Sqrt(2/(9*kf))
+	return kf * t * t * t
+}
+
+// Diagnose computes residual diagnostics for the model over the series it
+// was (or could have been) fitted to, using maxLag autocorrelation lags
+// (default 20 when zero).
+func (m *Model) Diagnose(y []float64, maxLag int) (*Diagnostics, error) {
+	if maxLag <= 0 {
+		maxLag = 20
+	}
+	w, err := Difference(y, m.Order.D)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) <= maxLag+m.Order.P+m.Order.Q {
+		return nil, fmt.Errorf("arima: series too short to diagnose with %d lags", maxLag)
+	}
+	z := make([]float64, len(w))
+	for i, v := range w {
+		z[i] = v - m.Mu
+	}
+	resid := m.residualsZ(z)
+	// Drop the warm-up region where residuals are conditioned on zeros.
+	warm := m.Order.P + m.Order.Q
+	resid = resid[warm:]
+
+	d := &Diagnostics{N: len(resid)}
+	d.ResidualMean, d.ResidualStd = stats.MeanStd(resid)
+	d.ACF = stats.AutocorrelationFunc(resid, maxLag)
+	if len(d.ACF) > 0 {
+		d.ACF = d.ACF[1:] // drop the trivial lag-0 term
+	}
+	d.LjungBox = stats.LjungBox(resid, maxLag)
+	d.WhiteAt05 = !math.IsNaN(d.LjungBox) && d.LjungBox < chiSquared95(maxLag)
+	return d, nil
+}
+
+// String renders a one-line summary.
+func (d *Diagnostics) String() string {
+	verdict := "residuals NOT white at 5%"
+	if d.WhiteAt05 {
+		verdict = "residuals white at 5%"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g Q(%d)=%.1f — %s",
+		d.N, d.ResidualMean, d.ResidualStd, len(d.ACF), d.LjungBox, verdict)
+}

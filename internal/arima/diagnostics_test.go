@@ -1,0 +1,96 @@
+package arima
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestChiSquared95KnownValues(t *testing.T) {
+	// Reference values: chi2inv(0.95, k).
+	cases := map[int]float64{
+		5:  11.070,
+		10: 18.307,
+		20: 31.410,
+	}
+	for k, want := range cases {
+		got := chiSquared95(k)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("chi2_95(%d) = %g, want ~%g", k, got, want)
+		}
+	}
+	if !math.IsNaN(chiSquared95(0)) {
+		t.Error("k=0 should be NaN")
+	}
+}
+
+func TestDiagnoseWellSpecifiedModel(t *testing.T) {
+	// Fit the true order to an AR(1): residuals should be white.
+	rng := stats.NewRand(401)
+	y := simulateARMA(rng, 4000, 3, []float64{0.7}, nil)
+	m, err := Fit(y, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Diagnose(y, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.WhiteAt05 {
+		t.Errorf("well-specified model residuals should be white: %s", d)
+	}
+	if math.Abs(d.ResidualMean) > 0.1 {
+		t.Errorf("residual mean = %g, want ~0", d.ResidualMean)
+	}
+	if len(d.ACF) != 20 {
+		t.Errorf("ACF lags = %d, want 20", len(d.ACF))
+	}
+	if !strings.Contains(d.String(), "white at 5%") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestDiagnoseMisspecifiedModel(t *testing.T) {
+	// A strongly seasonal series fitted with a plain AR(1): residuals keep
+	// the seasonal structure and fail the whiteness test.
+	season := 12
+	y := simulateSeasonal(402, 4000, 0.2, 0.75, season, 0)
+	m, err := Fit(y, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Diagnose(y, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WhiteAt05 {
+		t.Errorf("misspecified model residuals should fail whiteness: %s", d)
+	}
+	// The seasonal lag should carry visible autocorrelation.
+	if math.Abs(d.ACF[season-1]) < 0.1 {
+		t.Errorf("ACF at seasonal lag = %g, want substantial", d.ACF[season-1])
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	m := &Model{Order: Order{P: 1}, Phi: []float64{0.5}, Sigma2: 1}
+	if _, err := m.Diagnose(make([]float64, 10), 20); err == nil {
+		t.Error("short series should error")
+	}
+	// Default lag count.
+	rng := stats.NewRand(403)
+	y := simulateARMA(rng, 500, 0, []float64{0.5}, nil)
+	fit, err := Fit(y, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fit.Diagnose(y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ACF) != 20 {
+		t.Errorf("default ACF lags = %d, want 20", len(d.ACF))
+	}
+}

@@ -1,0 +1,327 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// Order specifies an ARIMA(p,d,q) model.
+type Order struct {
+	P int // autoregressive order
+	D int // differencing order
+	Q int // moving-average order
+}
+
+// Validate reports whether the order is admissible.
+func (o Order) Validate() error {
+	if o.P < 0 || o.D < 0 || o.Q < 0 {
+		return fmt.Errorf("arima: negative order component in %v", o)
+	}
+	if o.P == 0 && o.Q == 0 && o.D == 0 {
+		return fmt.Errorf("arima: degenerate order (0,0,0)")
+	}
+	if o.P > 20 || o.Q > 20 || o.D > 2 {
+		return fmt.Errorf("arima: order %v beyond supported range (p,q <= 20, d <= 2)", o)
+	}
+	return nil
+}
+
+// String renders the order as "ARIMA(p,d,q)".
+func (o Order) String() string { return fmt.Sprintf("ARIMA(%d,%d,%d)", o.P, o.D, o.Q) }
+
+// Model is a fitted ARIMA model. Phi are the AR coefficients and Theta the
+// MA coefficients of the (possibly differenced) mean-adjusted process:
+//
+//	w_t - mu = Σ phi_i (w_{t-i} - mu) + e_t + Σ theta_j e_{t-j}
+//
+// where w = (1-B)^D y.
+type Model struct {
+	Order  Order
+	Phi    []float64 // length P
+	Theta  []float64 // length Q
+	Mu     float64   // mean of the differenced process
+	Sigma2 float64   // innovation variance
+	N      int       // number of observations used in fitting
+	LogLik float64   // Gaussian log-likelihood (conditional)
+}
+
+// yuleWalker fits AR(p) coefficients to a zero-mean series via the
+// Yule-Walker equations built from sample autocovariances.
+func yuleWalker(w []float64, p int) ([]float64, error) {
+	n := len(w)
+	if p <= 0 || n <= p {
+		return nil, fmt.Errorf("arima: cannot fit AR(%d) to %d observations", p, n)
+	}
+	// Biased autocovariances gamma_0..gamma_p.
+	gamma := make([]float64, p+1)
+	for lag := 0; lag <= p; lag++ {
+		var s float64
+		for i := 0; i+lag < n; i++ {
+			s += w[i] * w[i+lag]
+		}
+		gamma[lag] = s / float64(n)
+	}
+	if gamma[0] <= 0 {
+		return nil, fmt.Errorf("arima: zero-variance series")
+	}
+	// Toeplitz system R phi = r.
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		a[i] = make([]float64, p)
+		for j := 0; j < p; j++ {
+			lag := i - j
+			if lag < 0 {
+				lag = -lag
+			}
+			a[i][j] = gamma[lag]
+		}
+		b[i] = gamma[i+1]
+	}
+	return solveLinear(a, b)
+}
+
+// arResiduals returns the one-step residuals of an AR fit on w (zero-mean),
+// with the first p entries set to zero (undefined warm-up region).
+func arResiduals(w []float64, phi []float64) []float64 {
+	p := len(phi)
+	resid := make([]float64, len(w))
+	for t := p; t < len(w); t++ {
+		pred := 0.0
+		for i, c := range phi {
+			pred += c * w[t-1-i]
+		}
+		resid[t] = w[t] - pred
+	}
+	return resid
+}
+
+// Fit estimates an ARIMA model of the given order from y using the
+// Hannan-Rissanen procedure: difference, demean, fit a long AR to estimate
+// innovations, then regress on lagged values and lagged innovations.
+func Fit(y []float64, order Order) (*Model, error) {
+	if err := order.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := Difference(y, order.D)
+	if err != nil {
+		return nil, err
+	}
+	minN := 3*(order.P+order.Q) + 20
+	if len(w) < minN {
+		return nil, fmt.Errorf("arima: %d observations after differencing; need at least %d for %v",
+			len(w), minN, order)
+	}
+
+	// Demean the differenced series.
+	var mu float64
+	for _, v := range w {
+		mu += v
+	}
+	mu /= float64(len(w))
+	z := make([]float64, len(w))
+	allZero := true
+	for i, v := range w {
+		z[i] = v - mu
+		if z[i] != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		// Constant series: the model is deterministic with zero innovation
+		// variance. This arises for all-zero attack vectors and must not
+		// crash the detector.
+		return &Model{
+			Order:  order,
+			Phi:    make([]float64, order.P),
+			Theta:  make([]float64, order.Q),
+			Mu:     mu,
+			Sigma2: 0,
+			N:      len(w),
+		}, nil
+	}
+
+	var phi, theta []float64
+	switch {
+	case order.Q == 0:
+		phi, err = yuleWalker(z, order.P)
+		if err != nil {
+			return nil, err
+		}
+		theta = []float64{}
+	default:
+		// Stage 1: long AR for innovation estimates.
+		longP := order.P + order.Q + 5
+		if maxP := len(z)/4 - 1; longP > maxP {
+			longP = maxP
+		}
+		if longP < order.P+order.Q {
+			longP = order.P + order.Q
+		}
+		longAR, err := yuleWalker(z, longP)
+		if err != nil {
+			return nil, err
+		}
+		eHat := arResiduals(z, longAR)
+
+		// Stage 2: OLS of z_t on p lags of z and q lags of eHat.
+		start := longP + order.Q
+		if start < order.P {
+			start = order.P
+		}
+		rows := len(z) - start
+		if rows < order.P+order.Q+5 {
+			return nil, fmt.Errorf("arima: insufficient data for Hannan-Rissanen stage 2 (%d usable rows)", rows)
+		}
+		design := make([][]float64, rows)
+		target := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			t := start + r
+			row := make([]float64, order.P+order.Q)
+			for i := 0; i < order.P; i++ {
+				row[i] = z[t-1-i]
+			}
+			for j := 0; j < order.Q; j++ {
+				row[order.P+j] = eHat[t-1-j]
+			}
+			design[r] = row
+			target[r] = z[t]
+		}
+		beta, err := leastSquares(design, target)
+		if err != nil {
+			return nil, fmt.Errorf("arima: Hannan-Rissanen regression: %w", err)
+		}
+		phi = beta[:order.P]
+		theta = beta[order.P:]
+	}
+
+	m := &Model{
+		Order: order,
+		Phi:   clampStationary(phi),
+		Theta: clampInvertible(theta),
+		Mu:    mu,
+		N:     len(w),
+	}
+
+	// Innovation variance from conditional residuals.
+	resid := m.residualsZ(z)
+	var ss float64
+	cnt := 0
+	warm := order.P + order.Q
+	for t := warm; t < len(resid); t++ {
+		ss += resid[t] * resid[t]
+		cnt++
+	}
+	if cnt > 0 {
+		m.Sigma2 = ss / float64(cnt)
+	}
+	if m.Sigma2 > 0 {
+		m.LogLik = -0.5 * float64(cnt) * (math.Log(2*math.Pi*m.Sigma2) + 1)
+	}
+	return m, nil
+}
+
+// residualsZ computes conditional one-step residuals on a zero-mean
+// differenced series using the fitted coefficients. Pre-sample values and
+// innovations are taken as zero.
+func (m *Model) residualsZ(z []float64) []float64 {
+	resid := make([]float64, len(z))
+	for t := 0; t < len(z); t++ {
+		pred := 0.0
+		for i, c := range m.Phi {
+			if t-1-i >= 0 {
+				pred += c * z[t-1-i]
+			}
+		}
+		for j, c := range m.Theta {
+			if t-1-j >= 0 {
+				pred += c * resid[t-1-j]
+			}
+		}
+		resid[t] = z[t] - pred
+	}
+	return resid
+}
+
+// clampStationary shrinks AR coefficients toward zero until the companion
+// polynomial's coefficient sum is safely inside the unit circle. This cheap
+// guard (rather than full root-finding) keeps long-horizon forecasts from
+// exploding when the estimator lands on a marginally nonstationary fit —
+// which attack-poisoned series are engineered to cause.
+func clampStationary(phi []float64) []float64 {
+	out := make([]float64, len(phi))
+	copy(out, phi)
+	for iter := 0; iter < 100; iter++ {
+		var sumAbs float64
+		for _, c := range out {
+			sumAbs += math.Abs(c)
+		}
+		if sumAbs < 0.999 {
+			break
+		}
+		scale := 0.98 * 0.999 / sumAbs
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// clampInvertible applies the same absolute-sum shrinkage to MA terms.
+func clampInvertible(theta []float64) []float64 {
+	return clampStationary(theta)
+}
+
+// AIC returns Akaike's information criterion for the fitted model.
+func (m *Model) AIC() float64 {
+	k := float64(len(m.Phi) + len(m.Theta) + 2) // + mean + variance
+	return 2*k - 2*m.LogLik
+}
+
+// SelectOrder fits every order in the candidate grid and returns the model
+// minimizing AIC. Orders that fail to fit are skipped; an error is returned
+// only when every candidate fails.
+func SelectOrder(y []float64, candidates []Order) (*Model, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("arima: no candidate orders")
+	}
+	var best *Model
+	var firstErr error
+	for _, o := range candidates {
+		m, err := Fit(y, o)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if m.Sigma2 == 0 {
+			// Degenerate fit: acceptable only if nothing else works.
+			if best == nil {
+				best = m
+			}
+			continue
+		}
+		if best == nil || best.Sigma2 == 0 || m.AIC() < best.AIC() {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("arima: all candidate orders failed: %w", firstErr)
+	}
+	return best, nil
+}
+
+// DefaultCandidates is a small grid of orders suitable for half-hourly
+// consumption data after the detector's seasonal adjustment.
+func DefaultCandidates() []Order {
+	return []Order{
+		{P: 1, D: 0, Q: 0},
+		{P: 2, D: 0, Q: 0},
+		{P: 3, D: 0, Q: 0},
+		{P: 1, D: 0, Q: 1},
+		{P: 2, D: 0, Q: 1},
+		{P: 1, D: 1, Q: 1},
+		{P: 2, D: 1, Q: 1},
+	}
+}

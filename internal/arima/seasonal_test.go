@@ -1,0 +1,226 @@
+package arima
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSeasonalOrderValidate(t *testing.T) {
+	valid := []SeasonalOrder{
+		{Order: Order{P: 1}, PS: 1, DS: 0, QS: 0, Season: 48},
+		{Order: Order{P: 1, Q: 1}, PS: 0, Season: 0},
+		{Order: Order{}, PS: 1, DS: 1, Season: 7},
+	}
+	for _, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("%v should be valid: %v", o, err)
+		}
+	}
+	invalid := []SeasonalOrder{
+		{Order: Order{}, PS: 0, DS: 0, QS: 0},         // fully degenerate
+		{Order: Order{P: 1}, PS: -1, Season: 48},      // negative seasonal
+		{Order: Order{P: 1}, PS: 1, Season: 1},        // season too small
+		{Order: Order{P: 1}, PS: 5, Season: 48},       // seasonal order too big
+		{Order: Order{P: 1}, DS: 2, PS: 1, Season: 4}, // DS beyond range
+	}
+	for _, o := range invalid {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%v should be invalid", o)
+		}
+	}
+	s := SeasonalOrder{Order: Order{P: 1, D: 0, Q: 1}, PS: 1, DS: 1, QS: 0, Season: 48}
+	if !strings.Contains(s.String(), "[48]") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestExpandPoly(t *testing.T) {
+	// (1 - 0.5B)(1 - 0.3B^2) = 1 - 0.5B - 0.3B^2 + 0.15B^3
+	// => coefficients (per-lag, as AR "phi"): [0.5, 0.3, -0.15].
+	out := expandPoly([]float64{0.5}, []float64{0.3}, 2)
+	want := []float64{0.5, 0.3, -0.15}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("coef[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Empty seasonal part: unchanged.
+	out = expandPoly([]float64{0.7}, nil, 4)
+	if len(out) != 1 || out[0] != 0.7 {
+		t.Errorf("non-seasonal passthrough = %v", out)
+	}
+}
+
+func TestExpandThetaPoly(t *testing.T) {
+	// (1 + 0.4B)(1 + 0.2B^2) = 1 + 0.4B + 0.2B^2 + 0.08B^3.
+	out := expandThetaPoly([]float64{0.4}, []float64{0.2}, 2)
+	want := []float64{0.4, 0.2, 0.08}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("coef[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+// simulateSeasonal generates a seasonal AR process: z_t = phi z_{t-1} +
+// phiS z_{t-s} + e_t.
+func simulateSeasonal(seed int64, n int, phi, phiS float64, season int, mu float64) []float64 {
+	rng := stats.NewRand(seed)
+	burn := 10 * season
+	z := make([]float64, n+burn)
+	for t := 0; t < len(z); t++ {
+		v := rng.NormFloat64()
+		if t >= 1 {
+			v += phi * z[t-1]
+		}
+		if t >= season {
+			v += phiS * z[t-season]
+		}
+		z[t] = v
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = z[burn+i] + mu
+	}
+	return out
+}
+
+func TestFitSeasonalRecoversCoefficients(t *testing.T) {
+	season := 12
+	y := simulateSeasonal(301, 6000, 0.5, 0.3, season, 2)
+	m, err := FitSeasonal(y, SeasonalOrder{
+		Order: Order{P: 1}, PS: 1, Season: season,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.5) > 0.07 {
+		t.Errorf("phi = %g, want ~0.5", m.Phi[0])
+	}
+	if math.Abs(m.PhiS[0]-0.3) > 0.07 {
+		t.Errorf("phiS = %g, want ~0.3", m.PhiS[0])
+	}
+	if math.Abs(m.Sigma2-1) > 0.15 {
+		t.Errorf("sigma2 = %g, want ~1", m.Sigma2)
+	}
+}
+
+func TestFitSeasonalConstant(t *testing.T) {
+	y := make([]float64, 500)
+	for i := range y {
+		y[i] = 4
+	}
+	m, err := FitSeasonal(y, SeasonalOrder{Order: Order{P: 1}, PS: 1, Season: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sigma2 != 0 || m.Mu != 4 {
+		t.Errorf("constant fit: sigma2=%g mu=%g", m.Sigma2, m.Mu)
+	}
+}
+
+func TestFitSeasonalErrors(t *testing.T) {
+	if _, err := FitSeasonal(make([]float64, 10), SeasonalOrder{Order: Order{P: 1}, PS: 1, Season: 48}); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := FitSeasonal(make([]float64, 100), SeasonalOrder{}); err == nil {
+		t.Error("degenerate order should error")
+	}
+}
+
+func TestSeasonalForecastTracksSeasonality(t *testing.T) {
+	// A strongly seasonal series: the seasonal model's forecasts should
+	// track the pattern far better than chance.
+	season := 24
+	n := 4000
+	rng := stats.NewRand(302)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(season)) + 0.3*rng.NormFloat64()
+	}
+	m, err := FitSeasonal(y[:n-season], SeasonalOrder{
+		Order: Order{P: 1}, PS: 1, DS: 1, Season: season,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.ForecastFrom(y[:n-season], season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, sseNaive float64
+	mean := 10.0
+	for i := 0; i < season; i++ {
+		d := fc.Point[i] - y[n-season+i]
+		sse += d * d
+		dn := mean - y[n-season+i]
+		sseNaive += dn * dn
+	}
+	if sse >= sseNaive/4 {
+		t.Errorf("seasonal forecast SSE %.1f should beat mean-forecast SSE %.1f by 4x", sse, sseNaive)
+	}
+	// Sigma is positive and non-decreasing.
+	for i := 1; i < season; i++ {
+		if fc.Sigma[i]+1e-12 < fc.Sigma[i-1] {
+			t.Fatalf("sigma not non-decreasing at %d: %g < %g", i, fc.Sigma[i], fc.Sigma[i-1])
+		}
+	}
+}
+
+func TestSeasonalForecastErrors(t *testing.T) {
+	y := simulateSeasonal(303, 600, 0.4, 0.3, 12, 0)
+	m, err := FitSeasonal(y, SeasonalOrder{Order: Order{P: 1}, PS: 1, Season: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ForecastFrom(y, 0); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := m.ForecastFrom(y[:3], 5); err == nil {
+		t.Error("short history should error")
+	}
+}
+
+func TestSeasonalAIC(t *testing.T) {
+	y := simulateSeasonal(304, 2000, 0.5, 0.3, 12, 0)
+	m, err := FitSeasonal(y, SeasonalOrder{Order: Order{P: 1}, PS: 1, Season: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.AIC()) {
+		t.Error("AIC should be finite for a stochastic fit")
+	}
+}
+
+func TestSeasonalReducesResidualVarianceOnConsumption(t *testing.T) {
+	// On a synthetic consumption-like series (daily seasonality), the
+	// seasonal model should leave materially less residual variance than
+	// the plain AR model — the practical payoff of seasonal terms.
+	season := 48
+	rng := stats.NewRand(305)
+	n := 4800
+	y := make([]float64, n)
+	for i := range y {
+		hour := float64(i%season) / 2
+		base := 0.3 + 0.8*math.Exp(-(hour-19)*(hour-19)/8)
+		y[i] = base * math.Exp(0.2*rng.NormFloat64())
+	}
+	plain, err := Fit(y, Order{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seasonal, err := FitSeasonal(y, SeasonalOrder{Order: Order{P: 2}, PS: 1, DS: 1, Season: season})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seasonal.Sigma2 >= plain.Sigma2 {
+		t.Errorf("seasonal sigma2 %g should beat plain %g on periodic data",
+			seasonal.Sigma2, plain.Sigma2)
+	}
+}

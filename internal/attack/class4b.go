@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/adr"
+	"repro/internal/timeseries"
+)
+
+// Class4BResult holds every series involved in an Attack Class 4B instance.
+// The invariants (checked by Verify and exercised in tests) are exactly the
+// conditions of Section VI-B:
+//
+//	D_n(t) < D'_n(t)      — the victim's consumption is over-reported,
+//	D_A(t) > D'_A(t)      — the attacker's consumption is under-reported,
+//	λ(t)   < λ'_n(t)      — the victim's ADR sees inflated prices,
+//
+// with the balance check satisfied because the attacker consumes exactly
+// what the victim's suppressed load freed up.
+type Class4BResult struct {
+	// VictimActual is the victim's post-ADR (suppressed) consumption.
+	VictimActual timeseries.Series
+	// VictimReported is what the victim's compromised meter reports: the
+	// unsuppressed baseline.
+	VictimReported timeseries.Series
+	// AttackerActual is the attacker's typical consumption plus the load
+	// freed by the victim's suppression.
+	AttackerActual timeseries.Series
+	// AttackerReported is the attacker's typical consumption, unchanged.
+	AttackerReported timeseries.Series
+	// SpoofedPrices is the λ'_n(t) trace the victim's ADR interface saw.
+	SpoofedPrices []float64
+	// TruePrices is the genuine λ(t) trace.
+	TruePrices []float64
+}
+
+// InjectClass4B realizes Attack Class 4B against one victim over one week.
+//
+// The victim's ADR interface receives spoofed prices λ' = spoofFactor · λ,
+// reducing the victim's actual demand per the elasticity model. The
+// victim's meter keeps reporting the baseline, so the balance check passes
+// while the attacker consumes the difference on top of her own typical load
+// and still reports only the typical load.
+func InjectClass4B(victimBaseline, attackerTypical timeseries.Series, truePrices []float64,
+	victim adr.ElasticConsumer, spoofFactor float64) (*Class4BResult, error) {
+	if len(victimBaseline) != timeseries.SlotsPerWeek || len(attackerTypical) != timeseries.SlotsPerWeek {
+		return nil, fmt.Errorf("attack: class 4B needs full weeks (got %d and %d readings)",
+			len(victimBaseline), len(attackerTypical))
+	}
+	if len(truePrices) != timeseries.SlotsPerWeek {
+		return nil, fmt.Errorf("attack: class 4B needs %d prices, got %d",
+			timeseries.SlotsPerWeek, len(truePrices))
+	}
+	spoofed, err := adr.SpoofPrices(truePrices, spoofFactor)
+	if err != nil {
+		return nil, fmt.Errorf("attack: class 4B: %w", err)
+	}
+	suppressed, err := victim.RespondRelative(victimBaseline, truePrices, spoofed)
+	if err != nil {
+		return nil, fmt.Errorf("attack: class 4B: %w", err)
+	}
+	res := &Class4BResult{
+		VictimActual:     suppressed,
+		VictimReported:   victimBaseline.Clone(),
+		AttackerActual:   make(timeseries.Series, timeseries.SlotsPerWeek),
+		AttackerReported: attackerTypical.Clone(),
+		SpoofedPrices:    spoofed,
+		TruePrices:       append([]float64(nil), truePrices...),
+	}
+	for i := range res.AttackerActual {
+		freed := res.VictimReported[i] - res.VictimActual[i]
+		if freed < 0 {
+			freed = 0
+		}
+		res.AttackerActual[i] = attackerTypical[i] + freed
+	}
+	return res, nil
+}
+
+// Verify checks the Section VI-B conditions on the realized attack and the
+// aggregate balance identity. It returns an error naming the first violated
+// condition.
+func (r *Class4BResult) Verify() error {
+	under := false
+	for i := range r.VictimActual {
+		if r.VictimReported[i] < r.VictimActual[i] {
+			return fmt.Errorf("attack: class 4B invariant broken at slot %d: victim under-reported", i)
+		}
+		if r.AttackerActual[i] < r.AttackerReported[i] {
+			return fmt.Errorf("attack: class 4B invariant broken at slot %d: attacker over-reported", i)
+		}
+		if r.SpoofedPrices[i] <= r.TruePrices[i] {
+			return fmt.Errorf("attack: class 4B invariant broken at slot %d: spoofed price not inflated", i)
+		}
+		if r.AttackerActual[i] > r.AttackerReported[i] {
+			under = true
+		}
+	}
+	if !under {
+		return fmt.Errorf("attack: class 4B had no effect (victim demand did not respond)")
+	}
+	// Balance: total actual equals total reported at every slot.
+	for i := range r.VictimActual {
+		actual := r.VictimActual[i] + r.AttackerActual[i]
+		reported := r.VictimReported[i] + r.AttackerReported[i]
+		if diff := actual - reported; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("attack: class 4B balance broken at slot %d: actual %g vs reported %g",
+				i, actual, reported)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/detect"
+	"repro/internal/pricing"
+	"repro/internal/timeseries"
+)
+
+// Combined2B3B realizes the combination attack the paper closes its
+// evaluation with (Section VIII-F3: Mallory "may, however, inject an attack
+// that combines Attack Class 3B with Attack Classes 1B and/or 2B"): first
+// the Integrated-ARIMA under-report of Class 2B is generated, then its
+// readings are Optimal-Swapped across the TOU price boundary (Class 3B).
+// The result under-reports on net (2B profit) *and* books what remains at
+// off-peak prices (3B profit) — strictly more profitable than either class
+// alone, while preserving the weekly reading distribution of the plain 2B
+// vector (so a distribution-only detector scores both identically).
+func Combined2B3B(det *detect.IntegratedARIMADetector, cfg IntegratedARIMAConfig,
+	scheme pricing.TOU, rng *rand.Rand) (timeseries.Series, error) {
+	base, err := IntegratedARIMAAttack(det, Down, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack: combined 2B stage: %w", err)
+	}
+	swapped, err := OptimalSwap(base, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("attack: combined 3B stage: %w", err)
+	}
+	return swapped, nil
+}

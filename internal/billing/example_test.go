@@ -1,0 +1,31 @@
+package billing_test
+
+import (
+	"fmt"
+
+	"repro/internal/billing"
+	"repro/internal/pricing"
+	"repro/internal/timeseries"
+)
+
+// ExampleGenerateStatement bills one day of constant 1 kW consumption under
+// the paper's Nightsaver tariff.
+func ExampleGenerateStatement() {
+	reported := make(timeseries.Series, timeseries.SlotsPerDay)
+	for i := range reported {
+		reported[i] = 1
+	}
+	st, err := billing.GenerateStatement(pricing.Nightsaver(), "meter-1330", reported,
+		billing.Cycle{Start: 0, Slots: timeseries.SlotsPerDay})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.1f kWh, $%.2f\n", st.ConsumerID, st.EnergyKWh, st.AmountUSD)
+	for _, item := range st.Items {
+		fmt.Printf("  %s: %.1f kWh $%.2f\n", item.Label, item.EnergyKWh, item.AmountUSD)
+	}
+	// Output:
+	// meter-1330: 24.0 kWh, $4.77
+	//   off-peak: 9.0 kWh $1.62
+	//   peak: 15.0 kWh $3.15
+}

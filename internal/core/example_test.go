@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/timeseries"
+)
+
+// ExampleFramework runs the full five-step pipeline on one consumer: enroll
+// on trusted history, evaluate a normal week and a maximal-theft week.
+func ExampleFramework() {
+	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: 30, Seed: 60})
+	if err != nil {
+		panic(err)
+	}
+	train, test, err := ds.Consumers[0].Demand.Split(28)
+	if err != nil {
+		panic(err)
+	}
+
+	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(0.05)})
+	if err != nil {
+		panic(err)
+	}
+	if err := framework.Enroll("consumer-1330", train); err != nil {
+		panic(err)
+	}
+
+	normal, err := framework.Evaluate("consumer-1330", 28, test.MustWeek(0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("normal week:", normal.Kind)
+
+	theft, err := framework.Evaluate("consumer-1330", 29, make(timeseries.Series, timeseries.SlotsPerWeek))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("zeroed week:", theft.Kind)
+	// Output:
+	// normal week: not-anomalous
+	// zeroed week: suspected-attacker
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/timeseries"
+)
+
+// Monitor is the online half of the framework: Section VII-A defines a
+// detection method as "a centralized online algorithm that would run at an
+// electric utility's control center". Where Framework.Evaluate judges
+// complete weeks in batch, a Monitor ingests readings one at a time as the
+// head-end collects them and raises an alert the moment a consumer's
+// rolling week window turns anomalous — using the trusted-seed streaming
+// construction of Section VII-D, so alerts can fire well before a full week
+// of attack data has accumulated.
+//
+// Monitor is safe for concurrent use; each consumer's stream is isolated.
+type Monitor struct {
+	mu      sync.Mutex
+	streams map[string]*monitorStream
+}
+
+type monitorStream struct {
+	stream   *detect.StreamingKLD
+	observed int
+	alerted  bool
+}
+
+// Alert is raised when a consumer's window first turns anomalous.
+type Alert struct {
+	ConsumerID string
+	// ReadingsObserved is how many live readings had been ingested when
+	// the alert fired (the time-to-detection in slots).
+	ReadingsObserved int
+	// Verdict carries the detector state at the moment of the alert.
+	Verdict detect.Verdict
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{streams: make(map[string]*monitorStream)}
+}
+
+// Watch enrolls a consumer: the detector is trained on the trusted history
+// and the streaming window seeded with the final training week.
+func (m *Monitor) Watch(id string, train timeseries.Series, cfg detect.KLDConfig) error {
+	if id == "" {
+		return fmt.Errorf("core: consumer ID is required")
+	}
+	det, err := detect.NewKLDDetector(train, cfg)
+	if err != nil {
+		return fmt.Errorf("core: watching %s: %w", id, err)
+	}
+	if train.Weeks() < 1 {
+		return fmt.Errorf("core: watching %s: no complete training week to seed from", id)
+	}
+	stream, err := det.NewStream(train.MustWeek(train.Weeks() - 1))
+	if err != nil {
+		return fmt.Errorf("core: watching %s: %w", id, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.streams[id]; exists {
+		return fmt.Errorf("core: consumer %s already watched", id)
+	}
+	m.streams[id] = &monitorStream{stream: stream}
+	return nil
+}
+
+// Watched returns the number of enrolled consumers.
+func (m *Monitor) Watched() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.streams)
+}
+
+// Ingest feeds one live reading for a consumer. It returns a non-nil Alert
+// the first time the consumer's window turns anomalous; subsequent
+// anomalous readings for an already-alerted consumer return nil (one alert
+// per consumer until Reset).
+func (m *Monitor) Ingest(id string, kw float64) (*Alert, error) {
+	m.mu.Lock()
+	ms, ok := m.streams[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: consumer %s not watched", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, err := ms.stream.Observe(kw)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingesting for %s: %w", id, err)
+	}
+	ms.observed++
+	if v.Anomalous && !ms.alerted {
+		ms.alerted = true
+		return &Alert{
+			ConsumerID:       id,
+			ReadingsObserved: ms.observed,
+			Verdict:          v,
+		}, nil
+	}
+	return nil, nil
+}
+
+// Alerted reports whether the consumer has an outstanding alert.
+func (m *Monitor) Alerted(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.streams[id]
+	return ok && ms.alerted
+}
+
+// Reset clears a consumer's alert latch after the investigation concludes,
+// so future anomalies alert again.
+func (m *Monitor) Reset(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.streams[id]
+	if !ok {
+		return fmt.Errorf("core: consumer %s not watched", id)
+	}
+	ms.alerted = false
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/timeseries"
+)
+
+func TestMonitorWatchValidation(t *testing.T) {
+	m := NewMonitor()
+	train, _ := testConsumer(t, 91, 20, 18)
+	if err := m.Watch("", train, detect.KLDConfig{}); err == nil {
+		t.Error("empty ID should error")
+	}
+	if err := m.Watch("c1", make(timeseries.Series, 10), detect.KLDConfig{}); err == nil {
+		t.Error("short training should error")
+	}
+	if err := m.Watch("c1", train, detect.KLDConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Watch("c1", train, detect.KLDConfig{}); err == nil {
+		t.Error("duplicate watch should error")
+	}
+	if m.Watched() != 1 {
+		t.Errorf("Watched = %d", m.Watched())
+	}
+}
+
+func TestMonitorAlertsOnAttackStream(t *testing.T) {
+	m := NewMonitor()
+	train, test := testConsumer(t, 95, 30, 28)
+	if err := m.Watch("c1", train, detect.KLDConfig{Significance: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Normal live week: no alert expected for this seed.
+	normal := test.MustWeek(0)
+	for _, v := range normal {
+		alert, err := m.Ingest("c1", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alert != nil {
+			t.Fatalf("normal stream alerted after %d readings", alert.ReadingsObserved)
+		}
+	}
+
+	// Attack stream (all zeros): alert well before a full week.
+	var got *Alert
+	for i := 0; i < timeseries.SlotsPerWeek; i++ {
+		alert, err := m.Ingest("c1", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alert != nil {
+			got = alert
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("attack stream never alerted")
+	}
+	if got.ConsumerID != "c1" || !got.Verdict.Anomalous {
+		t.Errorf("alert malformed: %+v", got)
+	}
+	if got.ReadingsObserved >= timeseries.SlotsPerWeek+len(normal) {
+		t.Error("alert should fire before a full attack week")
+	}
+	if !m.Alerted("c1") {
+		t.Error("alert latch should be set")
+	}
+
+	// Latched: further anomalous readings do not re-alert.
+	alert, err := m.Ingest("c1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alert != nil {
+		t.Error("latched consumer should not re-alert")
+	}
+	// Reset re-arms.
+	if err := m.Reset("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Alerted("c1") {
+		t.Error("reset should clear the latch")
+	}
+	alert, err = m.Ingest("c1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alert == nil {
+		t.Error("after reset, a still-anomalous window should alert again")
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	m := NewMonitor()
+	if _, err := m.Ingest("ghost", 1); err == nil {
+		t.Error("unwatched consumer should error")
+	}
+	if err := m.Reset("ghost"); err == nil {
+		t.Error("resetting unwatched consumer should error")
+	}
+	if m.Alerted("ghost") {
+		t.Error("unwatched consumer is not alerted")
+	}
+	train, _ := testConsumer(t, 93, 10, 8)
+	if err := m.Watch("c1", train, detect.KLDConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest("c1", -1); err == nil {
+		t.Error("negative reading should error")
+	}
+}
+
+func TestMonitorConcurrentIngest(t *testing.T) {
+	m := NewMonitor()
+	const consumers = 4
+	for i := 0; i < consumers; i++ {
+		train, _ := testConsumer(t, int64(94+i), 12, 10)
+		if err := m.Watch(fmt.Sprintf("c%d", i), train, detect.KLDConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers)
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", i)
+			for s := 0; s < 200; s++ {
+				if _, err := m.Ingest(id, 1.0); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/timeseries"
+)
+
+// The on-disk format follows the CER trial's three-column layout: meter ID,
+// a five-digit day-and-time code (DDDTT: day index 001-999 and half-hour
+// code 01-48), and the reading. The CER files carry kWh per half hour; we
+// store average kW (the paper's D values) and note the unit in the header.
+
+// WriteCSV streams the dataset in CER-style three-column format.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# meter_id,daycode,kw"); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	for _, c := range d.Consumers {
+		for s, v := range c.Demand {
+			day := s/timeseries.SlotsPerDay + 1
+			code := s%timeseries.SlotsPerDay + 1
+			if _, err := fmt.Fprintf(bw, "%d,%03d%02d,%s\n",
+				c.ID, day, code, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return fmt.Errorf("dataset: writing consumer %d: %w", c.ID, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CER-style format written by WriteCSV. Consumer class
+// information is not part of the interchange format; all consumers read
+// back as Unclassified (matching how the CER release handles unknowns).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	type slotReading struct {
+		slot int
+		kw   float64
+	}
+	readings := make(map[int][]slotReading)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dataset: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: meter id: %w", line, err)
+		}
+		code := strings.TrimSpace(parts[1])
+		if len(code) != 5 {
+			return nil, fmt.Errorf("dataset: line %d: daycode %q must be 5 digits", line, code)
+		}
+		day, err := strconv.Atoi(code[:3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: day part: %w", line, err)
+		}
+		halfHour, err := strconv.Atoi(code[3:])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: time part: %w", line, err)
+		}
+		if day < 1 || halfHour < 1 || halfHour > timeseries.SlotsPerDay {
+			return nil, fmt.Errorf("dataset: line %d: daycode %q out of range", line, code)
+		}
+		kw, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: reading: %w", line, err)
+		}
+		if kw < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative reading %g", line, kw)
+		}
+		slot := (day-1)*timeseries.SlotsPerDay + (halfHour - 1)
+		readings[id] = append(readings[id], slotReading{slot, kw})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scanning: %w", err)
+	}
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("dataset: no readings found")
+	}
+
+	ids := make([]int, 0, len(readings))
+	for id := range readings {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	ds := &Dataset{}
+	minWeeks := -1
+	for _, id := range ids {
+		rs := readings[id]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].slot < rs[j].slot })
+		maxSlot := rs[len(rs)-1].slot
+		demand := make(timeseries.Series, maxSlot+1)
+		seen := make(map[int]bool, len(rs))
+		for _, sr := range rs {
+			if seen[sr.slot] {
+				return nil, fmt.Errorf("dataset: duplicate reading for meter %d slot %d", id, sr.slot)
+			}
+			seen[sr.slot] = true
+			demand[sr.slot] = sr.kw
+		}
+		if len(seen) != maxSlot+1 {
+			return nil, fmt.Errorf("dataset: meter %d has gaps (%d of %d slots)", id, len(seen), maxSlot+1)
+		}
+		ds.Consumers = append(ds.Consumers, Consumer{
+			ID:     id,
+			Class:  Unclassified,
+			Demand: demand,
+		})
+		w := demand.Weeks()
+		if minWeeks == -1 || w < minWeeks {
+			minWeeks = w
+		}
+	}
+	ds.Weeks = minWeeks
+	return ds, nil
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := Config{Residential: 3, Weeks: 2, Seed: 11}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Consumers) != len(ds.Consumers) {
+		t.Fatalf("round-trip consumer count %d, want %d", len(back.Consumers), len(ds.Consumers))
+	}
+	if back.Weeks != ds.Weeks {
+		t.Errorf("weeks = %d, want %d", back.Weeks, ds.Weeks)
+	}
+	for i := range ds.Consumers {
+		orig := ds.Consumers[i]
+		got := back.Consumers[i]
+		if got.ID != orig.ID {
+			t.Fatalf("ID order changed: %d vs %d", got.ID, orig.ID)
+		}
+		if len(got.Demand) != len(orig.Demand) {
+			t.Fatalf("series length changed for %d", got.ID)
+		}
+		for s := range orig.Demand {
+			if got.Demand[s] != orig.Demand[s] {
+				t.Fatalf("consumer %d slot %d: %g vs %g", got.ID, s, got.Demand[s], orig.Demand[s])
+			}
+		}
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlank(t *testing.T) {
+	in := `# header
+1001,00101,1.5
+
+1001,00102,2.0
+`
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Consumers) != 1 || len(ds.Consumers[0].Demand) != 2 {
+		t.Fatalf("parsed %+v", ds)
+	}
+	if ds.Consumers[0].Demand[1] != 2.0 {
+		t.Error("value wrong")
+	}
+	if ds.Consumers[0].Class != Unclassified {
+		t.Error("CSV consumers read back as Unclassified")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"fields", "1001,00101\n"},
+		{"badID", "x,00101,1\n"},
+		{"shortCode", "1001,0101,1\n"},
+		{"badDay", "1001,xxx01,1\n"},
+		{"badTime", "1001,001xx,1\n"},
+		{"timeRange", "1001,00149,1\n"},
+		{"dayRange", "1001,00001,1\n"},
+		{"badValue", "1001,00101,abc\n"},
+		{"negative", "1001,00101,-1\n"},
+		{"duplicate", "1001,00101,1\n1001,00101,2\n"},
+		{"gap", "1001,00101,1\n1001,00103,1\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("input %q should fail", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadCSVMultipleConsumersSorted(t *testing.T) {
+	in := "1002,00101,1\n1001,00101,2\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Consumers[0].ID != 1001 || ds.Consumers[1].ID != 1002 {
+		t.Error("consumers must be sorted by ID")
+	}
+	// One reading each: zero complete weeks.
+	if ds.Weeks != 0 {
+		t.Errorf("weeks = %d, want 0", ds.Weeks)
+	}
+}
+
+func TestWriteCSVDayCodes(t *testing.T) {
+	ds := &Dataset{
+		Consumers: []Consumer{{
+			ID:     1001,
+			Demand: make(timeseries.Series, timeseries.SlotsPerDay+1),
+		}},
+		Weeks: 0,
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1001,00101,") {
+		t.Error("first slot should encode as day 001 code 01")
+	}
+	if !strings.Contains(out, "1001,00148,") {
+		t.Error("last slot of day 1 should encode as code 48")
+	}
+	if !strings.Contains(out, "1001,00201,") {
+		t.Error("first slot of day 2 should encode as day 002 code 01")
+	}
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CER-format parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through WriteCSV and
+// parse back to an identical dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# header\n1001,00101,1.5\n1001,00102,2\n")
+	f.Add("1001,00101,0\n")
+	f.Add("")
+	f.Add("9,00148,0.25\n9,00201,0.5\n")
+	f.Add("1001,00101,1\n1002,00101,2\n")
+	f.Add("1001,abc01,1\n")
+	f.Add("1001,00101,-3\n")
+	f.Add("1001,0010,1\n")
+	f.Add(strings.Repeat("1001,00101,1\n", 2))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted datasets are well-formed...
+		if len(ds.Consumers) == 0 {
+			t.Fatal("accepted dataset with no consumers")
+		}
+		for _, c := range ds.Consumers {
+			if err := c.Demand.Validate(); err != nil {
+				t.Fatalf("accepted invalid series for %d: %v", c.ID, err)
+			}
+		}
+		// ...and round-trip losslessly.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(back.Consumers) != len(ds.Consumers) {
+			t.Fatalf("round-trip changed consumer count: %d vs %d",
+				len(back.Consumers), len(ds.Consumers))
+		}
+		for i := range ds.Consumers {
+			a, b := ds.Consumers[i], back.Consumers[i]
+			if a.ID != b.ID || len(a.Demand) != len(b.Demand) {
+				t.Fatalf("round-trip changed consumer %d", a.ID)
+			}
+			for s := range a.Demand {
+				if a.Demand[s] != b.Demand[s] {
+					t.Fatalf("round-trip changed consumer %d slot %d", a.ID, s)
+				}
+			}
+		}
+	})
+}

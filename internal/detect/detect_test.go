@@ -1,0 +1,564 @@
+package detect
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pricing"
+	"repro/internal/timeseries"
+)
+
+// testConsumer returns a deterministic synthetic consumer series split into
+// train and test.
+func testConsumer(t *testing.T, seed int64, weeks, trainWeeks int) (train, test timeseries.Series) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Residential: 1,
+		Weeks:       weeks,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err = ds.Consumers[0].Demand.Split(trainWeeks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestValidateWeek(t *testing.T) {
+	if err := validateWeek(make(timeseries.Series, 10)); err == nil {
+		t.Error("short week should error")
+	}
+	bad := make(timeseries.Series, timeseries.SlotsPerWeek)
+	bad[0] = math.NaN()
+	if err := validateWeek(bad); err == nil {
+		t.Error("NaN week should error")
+	}
+	if err := validateWeek(make(timeseries.Series, timeseries.SlotsPerWeek)); err != nil {
+		t.Errorf("valid week rejected: %v", err)
+	}
+}
+
+func TestARIMADetectorNormalWeekPasses(t *testing.T) {
+	train, test := testConsumer(t, 21, 16, 14)
+	d, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Detect(test.MustWeek(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomalous {
+		t.Errorf("normal week flagged: %+v", v)
+	}
+	if v.Threshold != d.Threshold() {
+		t.Error("verdict threshold should match calibration")
+	}
+}
+
+func TestARIMADetectorFlagsWildWeek(t *testing.T) {
+	train, test := testConsumer(t, 22, 16, 14)
+	d, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A week of violent alternation far outside any confidence band.
+	wild := test.MustWeek(0).Clone()
+	peak := 0.0
+	for _, v := range train {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i := range wild {
+		if i%2 == 0 {
+			wild[i] = peak * 20
+		} else {
+			wild[i] = 0
+		}
+	}
+	v, err := d.Detect(wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("wild week not flagged: score=%g threshold=%g", v.Score, v.Threshold)
+	}
+	if v.Reason == "" {
+		t.Error("flagged verdict should carry a reason")
+	}
+}
+
+func TestARIMADetectorErrors(t *testing.T) {
+	if _, err := NewARIMADetector(make(timeseries.Series, 10), ARIMAConfig{}); err == nil {
+		t.Error("short training should error")
+	}
+	bad := make(timeseries.Series, 2*timeseries.SlotsPerWeek)
+	bad[0] = -1
+	if _, err := NewARIMADetector(bad, ARIMAConfig{}); err == nil {
+		t.Error("invalid training series should error")
+	}
+	train, _ := testConsumer(t, 23, 6, 4)
+	d, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(make(timeseries.Series, 5)); err == nil {
+		t.Error("short week should error")
+	}
+}
+
+func TestCITrackerPoisoning(t *testing.T) {
+	// Feeding the tracker inflated readings must drag the interval upward —
+	// the poisoning loop the attacks exploit.
+	train, _ := testConsumer(t, 24, 10, 10)
+	d, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.Tracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi0 := tr.Bounds()
+	// Feed a run of readings pinned at 3x the initial upper bound.
+	for i := 0; i < 100; i++ {
+		_, hi := tr.Bounds()
+		tr.Observe(hi * 1.5)
+	}
+	_, hiN := tr.Bounds()
+	if hiN <= hi0 {
+		t.Errorf("interval did not follow the attack vector: hi0=%g hiN=%g", hi0, hiN)
+	}
+	// Bounds are floored at zero.
+	tr2, _ := d.Tracker()
+	for i := 0; i < 50; i++ {
+		lo, _ := tr2.Bounds()
+		if lo < 0 {
+			t.Fatal("lower bound must be nonnegative")
+		}
+		tr2.Observe(0)
+	}
+}
+
+func TestIntegratedARIMADetectorMeanCheck(t *testing.T) {
+	train, test := testConsumer(t, 25, 16, 14)
+	d, err := NewIntegratedARIMADetector(train, IntegratedARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal week passes.
+	v, err := d.Detect(test.MustWeek(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomalous {
+		t.Errorf("normal week flagged: %+v", v)
+	}
+	lo, hi := d.MeanBounds()
+	if !(lo < hi) {
+		t.Fatalf("mean bounds [%g, %g] malformed", lo, hi)
+	}
+
+	// The plain ARIMA attack: ride the upper confidence bound. The plain
+	// ARIMA detector misses it; the integrated detector's mean check fires
+	// because the week's mean far exceeds historic means.
+	attack := make(timeseries.Series, timeseries.SlotsPerWeek)
+	tr, err := d.Inner().Tracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range attack {
+		_, hiB := tr.Bounds()
+		attack[i] = hiB
+		tr.Observe(hiB)
+	}
+	inner, err := d.Inner().Detect(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Anomalous {
+		t.Fatalf("CI-riding attack should evade the plain ARIMA detector (score=%g, threshold=%g)",
+			inner.Score, inner.Threshold)
+	}
+	full, err := d.Detect(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Anomalous {
+		t.Errorf("integrated detector should catch the ARIMA attack via the mean check (mean=%g, band hi=%g)",
+			weekMean(attack), hi)
+	}
+}
+
+func weekMean(w timeseries.Series) float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s / float64(len(w))
+}
+
+func TestIntegratedARIMADetectorVarianceCheck(t *testing.T) {
+	train, test := testConsumer(t, 26, 16, 14)
+	d, err := NewIntegratedARIMADetector(train, IntegratedARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A week with historic mean but violent variance. Alternate between 0
+	// and 2*mean so the mean matches history but variance explodes. Use
+	// slow alternation (every 12 slots) to stay within ARIMA intervals...
+	// if the ARIMA check fires first that also counts as detection; we
+	// accept either path but require detection.
+	lo, hi := d.MeanBounds()
+	mid := (lo + hi) / 2
+	wild := test.MustWeek(0).Clone()
+	for i := range wild {
+		if (i/24)%2 == 0 {
+			wild[i] = mid * 4
+		} else {
+			wild[i] = 0
+		}
+	}
+	v, err := d.Detect(wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("high-variance week should be flagged (cap=%g)", d.VarianceCap())
+	}
+}
+
+func TestIntegratedARIMADetectorShortTraining(t *testing.T) {
+	if _, err := NewIntegratedARIMADetector(make(timeseries.Series, 5), IntegratedARIMAConfig{}); err == nil {
+		t.Error("short training should error")
+	}
+}
+
+func TestKLDDetectorConfigValidation(t *testing.T) {
+	train, _ := testConsumer(t, 27, 6, 4)
+	if _, err := NewKLDDetector(train, KLDConfig{Bins: -1}); err == nil {
+		t.Error("negative bins should error")
+	}
+	if _, err := NewKLDDetector(train, KLDConfig{Significance: 2}); err == nil {
+		t.Error("significance >= 1 should error")
+	}
+	if _, err := NewKLDDetector(make(timeseries.Series, 10), KLDConfig{}); err == nil {
+		t.Error("short training should error")
+	}
+}
+
+func TestKLDDetectorNormalVsFlat(t *testing.T) {
+	train, test := testConsumer(t, 28, 30, 28)
+	d, err := NewKLDDetector(train, KLDConfig{Significance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, err := d.Detect(test.MustWeek(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Anomalous {
+		t.Errorf("normal week flagged: K=%g threshold=%g", normal.Score, normal.Threshold)
+	}
+	// An all-zero week (maximal 2A theft) has a degenerate distribution.
+	flat := make(timeseries.Series, timeseries.SlotsPerWeek)
+	v, err := d.Detect(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("all-zero week should be wildly anomalous: K=%g threshold=%g", v.Score, v.Threshold)
+	}
+	if v.Score <= normal.Score {
+		t.Error("flat week divergence should exceed the normal week's")
+	}
+}
+
+func TestKLDDetectorAccessors(t *testing.T) {
+	train, test := testConsumer(t, 29, 12, 10)
+	d, err := NewKLDDetector(train, KLDConfig{Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "kld-5%" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	edges := d.BinEdges()
+	if len(edges) != 11 {
+		t.Errorf("11 edges for 10 bins, got %d", len(edges))
+	}
+	xd := d.XDistribution()
+	var sum float64
+	for _, p := range xd {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("X distribution sums to %g", sum)
+	}
+	ks := d.TrainingDivergences()
+	if len(ks) != 10 {
+		t.Errorf("training K count = %d, want 10 weeks", len(ks))
+	}
+	// All training divergences are finite and nonnegative.
+	for i, k := range ks {
+		if k < 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+			t.Errorf("K[%d] = %g", i, k)
+		}
+	}
+	// Week distribution sums to one.
+	wd := d.WeekDistribution(test.MustWeek(0))
+	sum = 0
+	for _, p := range wd {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("week distribution sums to %g", sum)
+	}
+	// Threshold equals the 95th percentile of training K.
+	sorted := append([]float64(nil), ks...)
+	sort.Float64s(sorted)
+	if d.Threshold() < sorted[0] || d.Threshold() > sorted[len(sorted)-1] {
+		t.Error("threshold must lie within the training K range")
+	}
+}
+
+func TestKLDSignificanceOrdering(t *testing.T) {
+	train, _ := testConsumer(t, 30, 30, 28)
+	d5, err := NewKLDDetector(train, KLDConfig{Significance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d10, err := NewKLDDetector(train, KLDConfig{Significance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 10% detector is more aggressive: lower threshold.
+	if d10.Threshold() > d5.Threshold() {
+		t.Errorf("10%% threshold (%g) should be <= 5%% threshold (%g)",
+			d10.Threshold(), d5.Threshold())
+	}
+	if d10.Name() != "kld-10%" {
+		t.Errorf("Name = %q", d10.Name())
+	}
+}
+
+func TestPriceKLDDetectorCatchesOptimalSwap(t *testing.T) {
+	train, test := testConsumer(t, 31, 40, 38)
+	scheme := pricing.Nightsaver()
+	tier := func(slotOfWeek int) int {
+		return int(scheme.TierOf(timeseries.Slot(slotOfWeek)))
+	}
+	cfg := PriceKLDConfig{NTiers: 2, Tier: tier, Significance: 0.05}
+	d, err := NewPriceKLDDetector(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	week := test.MustWeek(0)
+	normal, err := d.Detect(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Anomalous {
+		t.Errorf("normal week flagged: K=%g threshold=%g", normal.Score, normal.Threshold)
+	}
+
+	// Optimal Swap attack: per day, swap the highest peak readings with the
+	// lowest off-peak readings. The overall distribution is unchanged,
+	// blinding the plain KLD detector, but the per-tier distributions shift.
+	swapped := optimalSwap(week, scheme)
+	v, err := d.Detect(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("price-conditioned detector should catch the swap: K=%g threshold=%g",
+			v.Score, v.Threshold)
+	}
+
+	// The plain KLD detector must NOT catch it (the paper's point).
+	plain, err := NewKLDDetector(train, KLDConfig{Significance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := plain.Detect(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Anomalous {
+		t.Errorf("plain KLD should be blind to a pure swap (K=%g threshold=%g)",
+			pv.Score, pv.Threshold)
+	}
+}
+
+// optimalSwap performs the per-day highest-peak/lowest-off-peak swap used
+// in the paper's Attack Class 3A/3B realization.
+func optimalSwap(week timeseries.Series, scheme pricing.TOU) timeseries.Series {
+	out := week.Clone()
+	for day := 0; day < timeseries.DaysPerWeek; day++ {
+		start := day * timeseries.SlotsPerDay
+		var peakIdx, offIdx []int
+		for s := 0; s < timeseries.SlotsPerDay; s++ {
+			slot := timeseries.Slot(start + s)
+			if scheme.InPeak(slot) {
+				peakIdx = append(peakIdx, start+s)
+			} else {
+				offIdx = append(offIdx, start+s)
+			}
+		}
+		sort.Slice(peakIdx, func(i, j int) bool { return out[peakIdx[i]] > out[peakIdx[j]] })
+		sort.Slice(offIdx, func(i, j int) bool { return out[offIdx[i]] < out[offIdx[j]] })
+		n := len(peakIdx)
+		if len(offIdx) < n {
+			n = len(offIdx)
+		}
+		for i := 0; i < n; i++ {
+			if out[peakIdx[i]] > out[offIdx[i]] {
+				out[peakIdx[i]], out[offIdx[i]] = out[offIdx[i]], out[peakIdx[i]]
+			}
+		}
+	}
+	return out
+}
+
+func TestKLDScaleInvarianceProperty(t *testing.T) {
+	// The KLD detector's bin edges are derived from the training data, so
+	// uniformly rescaling a consumer (kW -> W, or a bigger house with the
+	// same habits) must not change any divergence or verdict.
+	train, test := testConsumer(t, 35, 20, 18)
+	week := test.MustWeek(0)
+	base, err := NewKLDDetector(train, KLDConfig{Significance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseK, err := base.Divergence(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{0.001, 0.5, 3, 1000} {
+		scaled, err := NewKLDDetector(train.Scale(k), KLDConfig{Significance: 0.05})
+		if err != nil {
+			t.Fatalf("scale %g: %v", k, err)
+		}
+		scaledK, err := scaled.Divergence(week.Scale(k))
+		if err != nil {
+			t.Fatalf("scale %g: %v", k, err)
+		}
+		if math.Abs(scaledK-baseK) > 1e-9*(1+baseK) {
+			t.Errorf("scale %g: divergence %g != base %g (detector should be scale-free)",
+				k, scaledK, baseK)
+		}
+		if math.Abs(scaled.Threshold()-base.Threshold()) > 1e-9*(1+base.Threshold()) {
+			t.Errorf("scale %g: threshold changed", k)
+		}
+	}
+}
+
+func TestPriceKLDConfigValidation(t *testing.T) {
+	train, _ := testConsumer(t, 32, 6, 4)
+	tier := func(int) int { return 0 }
+	cases := []PriceKLDConfig{
+		{NTiers: 0, Tier: tier},
+		{NTiers: 2, Tier: nil},
+		{NTiers: 2, Tier: tier, Bins: -1},
+		{NTiers: 2, Tier: tier, Significance: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPriceKLDDetector(train, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	// Tier function returning out-of-range tier.
+	badTier := func(int) int { return 5 }
+	if _, err := NewPriceKLDDetector(train, PriceKLDConfig{NTiers: 2, Tier: badTier}); err == nil {
+		t.Error("out-of-range tier should be rejected")
+	}
+	// Short training series.
+	if _, err := NewPriceKLDDetector(make(timeseries.Series, 10), PriceKLDConfig{NTiers: 1, Tier: tier}); err == nil {
+		t.Error("short training should error")
+	}
+}
+
+func TestPCADetectorNormalVsAnomaly(t *testing.T) {
+	train, test := testConsumer(t, 33, 30, 28)
+	d, err := NewPCADetector(train, PCAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Components() < 1 {
+		t.Fatal("no components selected")
+	}
+	normal, err := d.Detect(test.MustWeek(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Anomalous {
+		t.Errorf("normal week flagged: res=%g threshold=%g", normal.Score, normal.Threshold)
+	}
+	// A structurally different week: demand shifted 12 hours.
+	shifted := test.MustWeek(0).Clone()
+	for i := range shifted {
+		shifted[i] = test.MustWeek(0)[(i+24)%timeseries.SlotsPerWeek] * 2
+	}
+	v, err := d.Detect(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("shifted+scaled week should be anomalous: res=%g threshold=%g", v.Score, v.Threshold)
+	}
+}
+
+func TestPCADetectorValidation(t *testing.T) {
+	train, _ := testConsumer(t, 34, 6, 4)
+	if _, err := NewPCADetector(train, PCAConfig{Significance: 2}); err == nil {
+		t.Error("bad significance should error")
+	}
+	if _, err := NewPCADetector(train, PCAConfig{VarianceTarget: 1.5}); err == nil {
+		t.Error("bad variance target should error")
+	}
+	if _, err := NewPCADetector(make(timeseries.Series, timeseries.SlotsPerWeek*2), PCAConfig{}); err == nil {
+		t.Error("too few training weeks should error")
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// Symmetric matrix with known eigenvalues {3, 1}: [[2,1],[1,2]].
+	vals, vecs, err := jacobiEigen([][]float64{{2, 1}, {1, 2}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if math.Abs(sorted[0]-1) > 1e-9 || math.Abs(sorted[1]-3) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [1 3]", sorted)
+	}
+	// Eigenvector columns are orthonormal.
+	for c := 0; c < 2; c++ {
+		var norm float64
+		for r := 0; r < 2; r++ {
+			norm += vecs[r][c] * vecs[r][c]
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Errorf("eigenvector %d norm² = %g", c, norm)
+		}
+	}
+	var dot float64
+	for r := 0; r < 2; r++ {
+		dot += vecs[r][0] * vecs[r][1]
+	}
+	if math.Abs(dot) > 1e-9 {
+		t.Errorf("eigenvectors not orthogonal: dot = %g", dot)
+	}
+	if _, _, err := jacobiEigen(nil, 10); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, _, err := jacobiEigen([][]float64{{1, 2}}, 10); err == nil {
+		t.Error("non-square matrix should error")
+	}
+}

@@ -1,0 +1,56 @@
+// Package detect implements F-DETA's electricity-theft detectors:
+//
+//   - the ARIMA detector of ref [2] (rolling one-step confidence-interval
+//     check on individual readings, Section VII-C);
+//   - the Integrated ARIMA detector of ref [2] (ARIMA check plus historic
+//     mean/variance window checks);
+//   - the paper's Kullback-Leibler divergence detector over weekly reading
+//     distributions (Section VII-D), the main contribution;
+//   - the price-conditioned KLD detector that splits distributions by
+//     electricity-price tier to catch load-shifting attacks
+//     (Section VIII-F3); and
+//   - a PCA subspace detector in the spirit of ref [3], included as an
+//     additional baseline.
+//
+// All detectors share the same contract: they are trained once per consumer
+// on that consumer's historic (trusted) readings and then judge candidate
+// weeks of 336 reported readings. Training state is immutable after
+// construction, so one trained detector may be used from multiple goroutines.
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// Verdict is the outcome of evaluating one candidate week.
+type Verdict struct {
+	// Anomalous reports whether the detector flags the week.
+	Anomalous bool
+	// Score is the detector's test statistic for the week (violation
+	// fraction, KL divergence, reconstruction error, ...).
+	Score float64
+	// Threshold is the decision boundary Score was compared against.
+	Threshold float64
+	// Reason is a short human-readable explanation for flagged weeks.
+	Reason string
+}
+
+// Detector judges candidate weeks of reported readings for one consumer.
+type Detector interface {
+	// Name identifies the detector in tables and logs.
+	Name() string
+	// Detect evaluates one candidate week (exactly timeseries.SlotsPerWeek
+	// readings) of reported consumption.
+	Detect(week timeseries.Series) (Verdict, error)
+}
+
+// validateWeek enforces the detectors' shared input contract.
+func validateWeek(week timeseries.Series) error {
+	if len(week) != timeseries.SlotsPerWeek {
+		return fmt.Errorf("detect: candidate week has %d readings, want %d",
+			len(week), timeseries.SlotsPerWeek)
+	}
+	return week.Validate()
+}

@@ -1,0 +1,206 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// TierFunc assigns a price tier (0..NTiers-1) to a half-hour slot of the
+// week. For the paper's two-tier Nightsaver TOU scheme, use
+// pricing.Nightsaver().TierOf wrapped to the weekly slot; for RTP systems,
+// use a quantized price trace (pricing.QuantizeRTP).
+type TierFunc func(slotOfWeek int) int
+
+// PriceKLDConfig parameterizes the price-conditioned KLD detector.
+type PriceKLDConfig struct {
+	// Bins per tier histogram (default 10).
+	Bins int
+	// Significance as for KLDConfig (default 0.05).
+	Significance float64
+	// NTiers is the number of price tiers (>= 2 for the detector to add
+	// information beyond the plain KLD detector).
+	NTiers int
+	// Tier maps weekly slots to tiers. Required.
+	Tier TierFunc
+	// KL configures the divergence computation.
+	KL stats.KLOptions
+}
+
+func (c PriceKLDConfig) withDefaults() PriceKLDConfig {
+	if c.Bins == 0 {
+		c.Bins = 10
+	}
+	if c.Significance == 0 {
+		c.Significance = 0.05
+	}
+	if c.KL == (stats.KLOptions{}) {
+		c.KL = stats.DefaultKLOptions()
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c PriceKLDConfig) Validate() error {
+	if c.Bins < 1 {
+		return fmt.Errorf("detect: price-KLD bins must be >= 1, got %d", c.Bins)
+	}
+	if c.Significance <= 0 || c.Significance >= 1 {
+		return fmt.Errorf("detect: significance %g outside (0, 1)", c.Significance)
+	}
+	if c.NTiers < 1 {
+		return fmt.Errorf("detect: need >= 1 price tier, got %d", c.NTiers)
+	}
+	if c.Tier == nil {
+		return fmt.Errorf("detect: tier function is required")
+	}
+	return nil
+}
+
+// PriceKLDDetector conditions the KLD detector on the electricity price
+// (Section VIII-F3): the X distribution is split into one distribution per
+// price tier, and a week's statistic is the sum of per-tier divergences.
+// The Optimal Swap attack preserves the week's *overall* reading
+// distribution but moves large readings from the peak tier to the off-peak
+// tier, so the per-tier distributions shift in opposite directions and the
+// summed divergence spikes.
+type PriceKLDDetector struct {
+	cfg       PriceKLDConfig
+	slotTier  []int              // tier per weekly slot
+	hists     []*stats.Histogram // frozen per-tier histograms of X
+	tierProbs [][]float64        // per-tier X distributions
+	trainK    []float64
+	threshold float64
+}
+
+// NewPriceKLDDetector trains the detector.
+func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLDDetector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if train.Weeks() < 2 {
+		return nil, fmt.Errorf("detect: price-KLD detector needs >= 2 training weeks, got %d", train.Weeks())
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("detect: training series: %w", err)
+	}
+
+	slotTier := make([]int, timeseries.SlotsPerWeek)
+	for s := range slotTier {
+		tier := cfg.Tier(s)
+		if tier < 0 || tier >= cfg.NTiers {
+			return nil, fmt.Errorf("detect: tier function returned %d for slot %d (NTiers=%d)", tier, s, cfg.NTiers)
+		}
+		slotTier[s] = tier
+	}
+
+	matrix, err := timeseries.NewWeekMatrix(train, 0)
+	if err != nil {
+		return nil, fmt.Errorf("detect: price-KLD training: %w", err)
+	}
+
+	// Partition all training values by tier and build per-tier histograms.
+	tierValues := make([][]float64, cfg.NTiers)
+	for i := 0; i < matrix.Rows(); i++ {
+		row := matrix.Row(i)
+		for s, v := range row {
+			tier := slotTier[s]
+			tierValues[tier] = append(tierValues[tier], v)
+		}
+	}
+	d := &PriceKLDDetector{
+		cfg:       cfg,
+		slotTier:  slotTier,
+		hists:     make([]*stats.Histogram, cfg.NTiers),
+		tierProbs: make([][]float64, cfg.NTiers),
+	}
+	for tier, vals := range tierValues {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("detect: price tier %d has no training slots", tier)
+		}
+		h, err := stats.NewHistogramFromData(vals, cfg.Bins)
+		if err != nil {
+			return nil, fmt.Errorf("detect: tier %d histogram: %w", tier, err)
+		}
+		d.hists[tier] = h
+		d.tierProbs[tier] = h.Probabilities()
+	}
+
+	d.trainK = make([]float64, matrix.Rows())
+	for i := 0; i < matrix.Rows(); i++ {
+		ki, err := d.Divergence(matrix.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("detect: training week %d: %w", i, err)
+		}
+		d.trainK[i] = ki
+	}
+	d.threshold = stats.Percentile(d.trainK, 100*(1-cfg.Significance))
+	if math.IsNaN(d.threshold) {
+		return nil, fmt.Errorf("detect: price-KLD threshold undefined")
+	}
+	return d, nil
+}
+
+// Name implements Detector.
+func (d *PriceKLDDetector) Name() string {
+	return fmt.Sprintf("price-kld-%g%%", 100*d.cfg.Significance)
+}
+
+// Threshold returns the decision threshold.
+func (d *PriceKLDDetector) Threshold() float64 { return d.threshold }
+
+// TrainingDivergences returns a copy of the training K_i values.
+func (d *PriceKLDDetector) TrainingDivergences() []float64 {
+	out := make([]float64, len(d.trainK))
+	copy(out, d.trainK)
+	return out
+}
+
+// Divergence computes the summed per-tier divergence of a week.
+func (d *PriceKLDDetector) Divergence(week timeseries.Series) (float64, error) {
+	tierVals := make([][]float64, d.cfg.NTiers)
+	for s, v := range week {
+		tier := d.slotTier[s%timeseries.SlotsPerWeek]
+		tierVals[tier] = append(tierVals[tier], v)
+	}
+	var total float64
+	for tier, vals := range tierVals {
+		if len(vals) == 0 {
+			continue
+		}
+		probs := d.hists[tier].Distribution(vals)
+		kl, err := stats.KLDivergence(probs, d.tierProbs[tier], d.cfg.KL)
+		if err != nil {
+			return math.NaN(), fmt.Errorf("detect: tier %d divergence: %w", tier, err)
+		}
+		total += kl
+	}
+	return total, nil
+}
+
+// Detect implements Detector.
+func (d *PriceKLDDetector) Detect(week timeseries.Series) (Verdict, error) {
+	if err := validateWeek(week); err != nil {
+		return Verdict{}, err
+	}
+	ka, err := d.Divergence(week)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Score:     ka,
+		Threshold: d.threshold,
+		Anomalous: ka > d.threshold,
+	}
+	if v.Anomalous {
+		v.Reason = fmt.Sprintf("price-conditioned KL divergence %.4g bits exceeds threshold %.4g",
+			ka, d.threshold)
+	}
+	return v, nil
+}
+
+// Interface compliance check.
+var _ Detector = (*PriceKLDDetector)(nil)

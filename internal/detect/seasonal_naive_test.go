@@ -1,0 +1,188 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func TestSeasonalNaiveValidation(t *testing.T) {
+	train, _ := testConsumer(t, 77, 20, 18)
+	if _, err := NewSeasonalNaiveDetector(make(timeseries.Series, 10), SeasonalNaiveConfig{}); err == nil {
+		t.Error("short training should error")
+	}
+	if _, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{Season: 1}); err == nil {
+		t.Error("season < 2 should error")
+	}
+	if _, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{Level: 2}); err == nil {
+		t.Error("bad level should error")
+	}
+	bad := train.Clone()
+	bad[0] = -1
+	if _, err := NewSeasonalNaiveDetector(bad, SeasonalNaiveConfig{}); err == nil {
+		t.Error("invalid training series should error")
+	}
+}
+
+func TestSeasonalNaiveNormalWeekPasses(t *testing.T) {
+	train, test := testConsumer(t, 78, 30, 28)
+	d, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "seasonal-naive" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	v, err := d.Detect(test.MustWeek(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomalous {
+		t.Errorf("normal week flagged: score=%g threshold=%g", v.Score, v.Threshold)
+	}
+}
+
+func TestSeasonalNaiveFlagsFlatWeek(t *testing.T) {
+	train, _ := testConsumer(t, 79, 30, 28)
+	d, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make(timeseries.Series, timeseries.SlotsPerWeek)
+	v, err := d.Detect(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("all-zero week should be flagged: score=%g threshold=%g", v.Score, v.Threshold)
+	}
+	if v.Reason == "" {
+		t.Error("flagged verdict should carry a reason")
+	}
+}
+
+func TestSeasonalNaiveResistsCIRidingEscalation(t *testing.T) {
+	// The decisive property: the ARIMA detector's band follows the attack
+	// vector (poisoned by reported data), so riding its upper bound
+	// escalates theft; the seasonal-naive band is anchored to frozen
+	// trusted history, so the best band-riding attack is capped at
+	// reference + z·sigma per slot.
+	train, _ := testConsumer(t, 80, 30, 28)
+	sn, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ARIMA-CI-riding attack (uncapped escalation would diverge; even the
+	// physical 10x-peak cap leaves a huge haul).
+	tr, err := ad.Tracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arimaVec := make(timeseries.Series, timeseries.SlotsPerWeek)
+	peak := 0.0
+	for _, v := range train {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i := range arimaVec {
+		_, hi := tr.Bounds()
+		if hi > 10*peak {
+			hi = 10 * peak
+		}
+		arimaVec[i] = hi
+		tr.Observe(hi)
+	}
+	// Seasonal-naive band-riding attack.
+	naiveVec := make(timeseries.Series, timeseries.SlotsPerWeek)
+	for i := range naiveVec {
+		_, hi := sn.Bounds(i)
+		naiveVec[i] = hi
+	}
+
+	if arimaEnergy, naiveEnergy := arimaVec.Energy(), naiveVec.Energy(); naiveEnergy >= arimaEnergy/2 {
+		t.Errorf("band-riding haul: seasonal-naive %.0f kWh should be far below ARIMA %.0f kWh",
+			naiveEnergy, arimaEnergy)
+	} else {
+		t.Logf("band-riding haul: ARIMA %.0f kWh vs seasonal-naive %.0f kWh (%.0fx reduction)",
+			arimaEnergy, naiveEnergy, arimaEnergy/naiveEnergy)
+	}
+
+	// And the seasonal detector flags the escalating ARIMA attack outright.
+	v, err := sn.Detect(arimaVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Errorf("the escalated CI-riding vector should violate the frozen band (score=%g threshold=%g)",
+			v.Score, v.Threshold)
+	}
+	// While its own band-riding vector evades it by construction.
+	v, err = sn.Detect(naiveVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomalous {
+		t.Error("the band-riding vector should evade the seasonal-naive detector by construction")
+	}
+}
+
+func TestSeasonalNaiveBoundsFloor(t *testing.T) {
+	train, _ := testConsumer(t, 81, 12, 10)
+	d, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < timeseries.SlotsPerWeek; s++ {
+		lo, hi := d.Bounds(s)
+		if lo < 0 {
+			t.Fatal("lower bound must be nonnegative")
+		}
+		if hi < lo {
+			t.Fatal("band inverted")
+		}
+	}
+	if d.Sigma() <= 0 {
+		t.Error("sigma should be positive for stochastic data")
+	}
+}
+
+func TestSeasonalNaiveConstantHistory(t *testing.T) {
+	train := make(timeseries.Series, 3*timeseries.SlotsPerWeek)
+	for i := range train {
+		train[i] = 2
+	}
+	d, err := NewSeasonalNaiveDetector(train, SeasonalNaiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any deviation from the constant history is anomalous.
+	week := make(timeseries.Series, timeseries.SlotsPerWeek)
+	for i := range week {
+		week[i] = 3
+	}
+	v, err := d.Detect(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomalous {
+		t.Error("deviation from constant history should be flagged")
+	}
+	// The constant week itself passes.
+	same := make(timeseries.Series, timeseries.SlotsPerWeek)
+	for i := range same {
+		same[i] = 2
+	}
+	v, err = d.Detect(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomalous {
+		t.Error("identical week should pass")
+	}
+}

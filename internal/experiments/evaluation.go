@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/pricing"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// DetectorID names the detector rows of Tables II and III.
+type DetectorID string
+
+// The four detector rows of the paper's tables.
+const (
+	DetARIMA      DetectorID = "arima"
+	DetIntegrated DetectorID = "integrated-arima"
+	DetKLD5       DetectorID = "kld-5"
+	DetKLD10      DetectorID = "kld-10"
+)
+
+// DetectorIDs lists the rows in table order.
+func DetectorIDs() []DetectorID {
+	return []DetectorID{DetARIMA, DetIntegrated, DetKLD5, DetKLD10}
+}
+
+// Label renders the detector name as the paper prints it.
+func (d DetectorID) Label() string {
+	switch d {
+	case DetARIMA:
+		return "ARIMA detector"
+	case DetIntegrated:
+		return "Integrated ARIMA detector"
+	case DetKLD5:
+		return "KLD detector (5% significance)"
+	case DetKLD10:
+		return "KLD detector (10% significance)"
+	default:
+		return string(d)
+	}
+}
+
+// Scenario names the attack columns of Tables II and III.
+type Scenario string
+
+// The three evaluated attack scenarios (Section VII-A explains why 1A and
+// 4B are excluded from the data-driven evaluation).
+const (
+	Scen1B   Scenario = "1B"
+	Scen2A2B Scenario = "2A/2B"
+	Scen3A3B Scenario = "3A/3B"
+)
+
+// Scenarios lists the columns in table order.
+func Scenarios() []Scenario { return []Scenario{Scen1B, Scen2A2B, Scen3A3B} }
+
+// ConsumerOutcome records one detector×scenario evaluation for one consumer.
+type ConsumerOutcome struct {
+	ConsumerID int
+	// Detected is true when the detector flagged the attack week.
+	Detected bool
+	// FalsePositive is true when the detector flagged the consumer's
+	// normal test week.
+	FalsePositive bool
+	// StolenKWh is the energy Mallory gains from this consumer in the
+	// attack week if the detector fails (Section VIII-E's full penalty).
+	StolenKWh float64
+	// ProfitUSD is the corresponding monetary gain.
+	ProfitUSD float64
+}
+
+// Failed applies the Section VIII-E rule.
+func (c ConsumerOutcome) Failed() bool { return !c.Detected || c.FalsePositive }
+
+// Cell aggregates a detector×scenario column pair.
+type Cell struct {
+	Detector DetectorID
+	Scenario Scenario
+	Outcomes []ConsumerOutcome
+}
+
+// DetectionRate is Metric 1: the fraction of consumers for whom the
+// detector succeeded (attack caught, no false positive).
+func (c *Cell) DetectionRate() float64 {
+	if len(c.Outcomes) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, o := range c.Outcomes {
+		if !o.Failed() {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(c.Outcomes))
+}
+
+// TotalStolenKWh sums stolen energy across failed consumers (the paper's
+// Metric 2 for Attack Class 1B).
+func (c *Cell) TotalStolenKWh() float64 {
+	var sum float64
+	for _, o := range c.Outcomes {
+		if o.Failed() {
+			sum += o.StolenKWh
+		}
+	}
+	return sum
+}
+
+// MaxStolenKWh is the largest single-consumer stolen energy among failures
+// (Metric 2 for Classes 2A/2B).
+func (c *Cell) MaxStolenKWh() (kwh float64, consumerID int) {
+	for _, o := range c.Outcomes {
+		if o.Failed() && o.StolenKWh > kwh {
+			kwh = o.StolenKWh
+			consumerID = o.ConsumerID
+		}
+	}
+	return kwh, consumerID
+}
+
+// TotalProfitUSD sums profit across failed consumers.
+func (c *Cell) TotalProfitUSD() float64 {
+	var sum float64
+	for _, o := range c.Outcomes {
+		if o.Failed() {
+			sum += o.ProfitUSD
+		}
+	}
+	return sum
+}
+
+// MaxProfitUSD is the largest single-consumer profit among failures
+// (Metric 2 for Classes 3A/3B).
+func (c *Cell) MaxProfitUSD() (usd float64, consumerID int) {
+	for _, o := range c.Outcomes {
+		if o.Failed() && o.ProfitUSD > usd {
+			usd = o.ProfitUSD
+			consumerID = o.ConsumerID
+		}
+	}
+	return usd, consumerID
+}
+
+// Evaluation is the complete result set behind Tables II and III.
+type Evaluation struct {
+	Options   Options
+	Consumers int
+	cells     map[DetectorID]map[Scenario]*Cell
+}
+
+// Cell fetches one detector×scenario cell.
+func (e *Evaluation) Cell(d DetectorID, s Scenario) (*Cell, error) {
+	row, ok := e.cells[d]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown detector %q", d)
+	}
+	cell, ok := row[s]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", s)
+	}
+	return cell, nil
+}
+
+// consumerEval is everything computed for one consumer.
+type consumerEval struct {
+	id       int
+	outcomes map[DetectorID]map[Scenario]ConsumerOutcome
+	err      error
+}
+
+// RunEvaluation executes the full Table II/III protocol.
+func RunEvaluation(opts Options) (*Evaluation, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := dataset.Generate(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	consumers := ds.Consumers
+	if opts.MaxConsumers > 0 && opts.MaxConsumers < len(consumers) {
+		consumers = consumers[:opts.MaxConsumers]
+	}
+
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(consumers) {
+		par = len(consumers)
+	}
+
+	evals := make([]consumerEval, len(consumers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := range consumers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			evals[i] = evaluateConsumer(&consumers[i], opts)
+		}(i)
+	}
+	wg.Wait()
+
+	ev := &Evaluation{
+		Options:   opts,
+		Consumers: len(consumers),
+		cells:     make(map[DetectorID]map[Scenario]*Cell),
+	}
+	for _, d := range DetectorIDs() {
+		ev.cells[d] = make(map[Scenario]*Cell)
+		for _, s := range Scenarios() {
+			ev.cells[d][s] = &Cell{Detector: d, Scenario: s}
+		}
+	}
+	for _, ce := range evals {
+		if ce.err != nil {
+			return nil, fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err)
+		}
+		for d, row := range ce.outcomes {
+			for s, o := range row {
+				cell := ev.cells[d][s]
+				cell.Outcomes = append(cell.Outcomes, o)
+			}
+		}
+	}
+	// Deterministic ordering regardless of scheduling.
+	for _, row := range ev.cells {
+		for _, cell := range row {
+			sort.Slice(cell.Outcomes, func(i, j int) bool {
+				return cell.Outcomes[i].ConsumerID < cell.Outcomes[j].ConsumerID
+			})
+		}
+	}
+	return ev, nil
+}
+
+// evaluateConsumer runs the whole per-consumer protocol.
+func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
+	ce := consumerEval{id: c.ID, outcomes: make(map[DetectorID]map[Scenario]ConsumerOutcome)}
+	fail := func(err error) consumerEval {
+		ce.err = err
+		return ce
+	}
+
+	train, test, err := c.Demand.Split(opts.TrainWeeks)
+	if err != nil {
+		return fail(err)
+	}
+	if test.Weeks() < 1 {
+		return fail(fmt.Errorf("no test weeks"))
+	}
+	normalWeek := test.MustWeek(0)
+	attackStart := timeseries.Slot(len(train))
+
+	// Train the detector suite once.
+	arimaDet, err := detect.NewARIMADetector(train, detect.ARIMAConfig{})
+	if err != nil {
+		return fail(fmt.Errorf("arima detector: %w", err))
+	}
+	integDet, err := detect.NewIntegratedARIMADetector(train, detect.IntegratedARIMAConfig{})
+	if err != nil {
+		return fail(fmt.Errorf("integrated detector: %w", err))
+	}
+	kld5, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.05})
+	if err != nil {
+		return fail(fmt.Errorf("kld5: %w", err))
+	}
+	kld10, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.10})
+	if err != nil {
+		return fail(fmt.Errorf("kld10: %w", err))
+	}
+	tierFn := func(slotOfWeek int) int {
+		return int(opts.Scheme.TierOf(timeseries.Slot(slotOfWeek)))
+	}
+	priceKLD5, err := detect.NewPriceKLDDetector(train, detect.PriceKLDConfig{
+		NTiers: 2, Tier: tierFn, Significance: 0.05,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("price kld5: %w", err))
+	}
+	priceKLD10, err := detect.NewPriceKLDDetector(train, detect.PriceKLDConfig{
+		NTiers: 2, Tier: tierFn, Significance: 0.10,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("price kld10: %w", err))
+	}
+
+	// Generate the attack vectors.
+	rng := stats.SplitRand(opts.Seed, int64(c.ID))
+
+	// Class 1B and 2A/2B: worst-of-N Integrated ARIMA attack.
+	vec1B, err := worstIntegrated(integDet, attack.Up, opts, rng, func(vec timeseries.Series) (float64, error) {
+		// Mallory's profit from victim over-report: what the victim is
+		// overbilled (Eq. 10 summed = α).
+		return pricing.NeighbourLoss(opts.Scheme, normalWeek, vec, attackStart)
+	})
+	if err != nil {
+		return fail(fmt.Errorf("1B attack: %w", err))
+	}
+	vec2A, err := worstIntegrated(integDet, attack.Down, opts, rng, func(vec timeseries.Series) (float64, error) {
+		return pricing.Profit(opts.Scheme, normalWeek, vec, attackStart)
+	})
+	if err != nil {
+		return fail(fmt.Errorf("2A/2B attack: %w", err))
+	}
+	// ARIMA attacks (for the ARIMA-detector row of Table III): the
+	// strongest attack that still evades the weakest detector.
+	arimaUp, err := attack.ARIMAAttack(arimaDet, attack.Up, 0)
+	if err != nil {
+		return fail(fmt.Errorf("arima up: %w", err))
+	}
+	arimaDown, err := attack.ARIMAAttack(arimaDet, attack.Down, 0)
+	if err != nil {
+		return fail(fmt.Errorf("arima down: %w", err))
+	}
+	// Classes 3A/3B: the Optimal Swap of the consumer's real test week.
+	swap, err := attack.OptimalSwap(normalWeek, opts.Scheme)
+	if err != nil {
+		return fail(fmt.Errorf("swap: %w", err))
+	}
+
+	// Gains per scenario and attack vector.
+	gain1B := func(vec timeseries.Series) (kwh, usd float64, err error) {
+		kwh, err = pricing.StolenEnergy(vec, normalWeek) // victim over-report: stolen = Σ(D'_n - D_n)+
+		if err != nil {
+			return 0, 0, err
+		}
+		usd, err = pricing.NeighbourLoss(opts.Scheme, normalWeek, vec, attackStart)
+		return kwh, usd, err
+	}
+	gain2A := func(vec timeseries.Series) (kwh, usd float64, err error) {
+		kwh, err = pricing.StolenEnergy(normalWeek, vec)
+		if err != nil {
+			return 0, 0, err
+		}
+		usd, err = pricing.Profit(opts.Scheme, normalWeek, vec, attackStart)
+		return kwh, usd, err
+	}
+	gainSwap := func(vec timeseries.Series) (kwh, usd float64, err error) {
+		usd, err = pricing.Profit(opts.Scheme, normalWeek, vec, attackStart)
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, usd, nil // a pure swap steals no net energy
+	}
+
+	// Detector sets per scenario: the KLD rows use the price-conditioned
+	// variant for the load-shifting column (Section VIII-F3).
+	type detPair struct {
+		id  DetectorID
+		det detect.Detector
+	}
+	weekDetectors := []detPair{
+		{DetARIMA, arimaDet},
+		{DetIntegrated, integDet},
+		{DetKLD5, kld5},
+		{DetKLD10, kld10},
+	}
+	swapDetectors := []detPair{
+		{DetARIMA, arimaDet},
+		{DetIntegrated, integDet},
+		{DetKLD5, priceKLD5},
+		{DetKLD10, priceKLD10},
+	}
+
+	// The vector each detector row is attacked with (Table III logic: the
+	// attacker uses the strongest attack that the row's detector family is
+	// known to miss — the CI-riding ARIMA attack against the plain ARIMA
+	// detector, the Integrated ARIMA attack against everything else).
+	vectorFor := func(d DetectorID, s Scenario) timeseries.Series {
+		switch s {
+		case Scen1B:
+			if d == DetARIMA {
+				return arimaUp
+			}
+			return vec1B
+		case Scen2A2B:
+			if d == DetARIMA {
+				return arimaDown
+			}
+			return vec2A
+		default:
+			return swap
+		}
+	}
+	gainFor := func(s Scenario) func(timeseries.Series) (float64, float64, error) {
+		switch s {
+		case Scen1B:
+			return gain1B
+		case Scen2A2B:
+			return gain2A
+		default:
+			return gainSwap
+		}
+	}
+
+	for _, s := range Scenarios() {
+		dets := weekDetectors
+		if s == Scen3A3B {
+			dets = swapDetectors
+		}
+		gain := gainFor(s)
+		for _, dp := range dets {
+			vec := vectorFor(dp.id, s)
+			attacked, err := dp.det.Detect(vec)
+			if err != nil {
+				return fail(fmt.Errorf("%s on %s attack: %w", dp.id, s, err))
+			}
+			normal, err := dp.det.Detect(normalWeek)
+			if err != nil {
+				return fail(fmt.Errorf("%s on normal week: %w", dp.id, err))
+			}
+			o := ConsumerOutcome{
+				ConsumerID:    c.ID,
+				Detected:      attacked.Anomalous,
+				FalsePositive: normal.Anomalous,
+			}
+			if o.Failed() {
+				kwh, usd, err := gain(vec)
+				if err != nil {
+					return fail(fmt.Errorf("%s gain: %w", s, err))
+				}
+				o.StolenKWh, o.ProfitUSD = kwh, usd
+			}
+			if ce.outcomes[dp.id] == nil {
+				ce.outcomes[dp.id] = make(map[Scenario]ConsumerOutcome)
+			}
+			ce.outcomes[dp.id][s] = o
+		}
+	}
+	return ce
+}
+
+// worstIntegrated draws opts.Trials Integrated-ARIMA vectors and keeps the
+// maximum-profit one among those Mallory's replica of the Integrated ARIMA
+// detector does not flag (Section VIII-B's 50-trial protocol plus the
+// attacker's self-check).
+func worstIntegrated(det *detect.IntegratedARIMADetector, dir attack.Direction, opts Options,
+	rng interface{ Int63() int64 }, profit func(timeseries.Series) (float64, error)) (timeseries.Series, error) {
+	base := rng.Int63()
+	vec, _, err := attack.WorstCaseEvading(opts.Trials, func(trial int) (timeseries.Series, error) {
+		trialRNG := stats.SplitRand(base, int64(trial))
+		return attack.IntegratedARIMAAttack(det, dir, attack.IntegratedARIMAConfig{}, trialRNG)
+	}, profit, det.Detect)
+	return vec, err
+}

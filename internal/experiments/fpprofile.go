@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+)
+
+// FPPoint is one detector's false-positive calibration over the test split.
+type FPPoint struct {
+	Detector string
+	// Significance is the nominal α the detector was configured with
+	// (0 for the non-KLD detectors).
+	Significance float64
+	// FPRate is the measured fraction of normal consumer-weeks flagged.
+	FPRate float64
+	// ConsumerWeeks is the sample size.
+	ConsumerWeeks int
+}
+
+// FalsePositiveProfile measures each detector's empirical false-positive
+// rate across every normal test week of every consumer — the calibration
+// Section VIII-E's penalty scheme rests on. A well-calibrated KLD detector
+// at significance α should flag ≈ α of normal weeks; the measured excess
+// over α quantifies how much the unlabeled anomalies in the training data
+// (vacations, parties — Section VIII-A) inflate the realized rate.
+func FalsePositiveProfile(opts Options) ([]FPPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := dataset.Generate(opts.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	consumers := ds.Consumers
+	if opts.MaxConsumers > 0 && opts.MaxConsumers < len(consumers) {
+		consumers = consumers[:opts.MaxConsumers]
+	}
+
+	type counter struct {
+		flagged, total int
+		significance   float64
+	}
+	counts := map[string]*counter{}
+	order := []string{}
+	record := func(name string, sig float64, anomalous bool) {
+		c, ok := counts[name]
+		if !ok {
+			c = &counter{significance: sig}
+			counts[name] = c
+			order = append(order, name)
+		}
+		c.total++
+		if anomalous {
+			c.flagged++
+		}
+	}
+
+	for i := range consumers {
+		c := &consumers[i]
+		train, test, err := c.Demand.Split(opts.TrainWeeks)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consumer %d: %w", c.ID, err)
+		}
+		integ, err := detect.NewIntegratedARIMADetector(train, detect.IntegratedARIMAConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consumer %d: %w", c.ID, err)
+		}
+		kld5, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.05})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consumer %d: %w", c.ID, err)
+		}
+		kld10, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.10})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consumer %d: %w", c.ID, err)
+		}
+		for w := 0; w < test.Weeks(); w++ {
+			week := test.MustWeek(w)
+			vi, err := integ.Detect(week)
+			if err != nil {
+				return nil, err
+			}
+			record("integrated-arima", 0, vi.Anomalous)
+			v5, err := kld5.Detect(week)
+			if err != nil {
+				return nil, err
+			}
+			record("kld-5%", 0.05, v5.Anomalous)
+			v10, err := kld10.Detect(week)
+			if err != nil {
+				return nil, err
+			}
+			record("kld-10%", 0.10, v10.Anomalous)
+		}
+	}
+
+	points := make([]FPPoint, 0, len(order))
+	for _, name := range order {
+		c := counts[name]
+		points = append(points, FPPoint{
+			Detector:      name,
+			Significance:  c.significance,
+			FPRate:        float64(c.flagged) / float64(c.total),
+			ConsumerWeeks: c.total,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,39 @@
+package pricing_test
+
+import (
+	"fmt"
+
+	"repro/internal/pricing"
+	"repro/internal/timeseries"
+)
+
+// ExampleProfit evaluates the paper's attack condition (Eq. 1): Mallory
+// consumes 2 kW all day but reports half of it.
+func ExampleProfit() {
+	actual := make(timeseries.Series, timeseries.SlotsPerDay)
+	reported := make(timeseries.Series, timeseries.SlotsPerDay)
+	for i := range actual {
+		actual[i] = 2.0
+		reported[i] = 1.0
+	}
+	alpha, err := pricing.Profit(pricing.Nightsaver(), actual, reported, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Mallory's daily profit α = $%.2f\n", alpha)
+	// Output:
+	// Mallory's daily profit α = $4.77
+}
+
+// ExampleTOU_InPeak shows the Nightsaver windows used throughout the
+// paper's evaluation.
+func ExampleTOU_InPeak() {
+	scheme := pricing.Nightsaver()
+	morning := timeseries.Slot(10) // 05:00
+	evening := timeseries.Slot(40) // 20:00
+	fmt.Printf("05:00 peak=%v price=%.2f $/kWh\n", scheme.InPeak(morning), scheme.Price(morning))
+	fmt.Printf("20:00 peak=%v price=%.2f $/kWh\n", scheme.InPeak(evening), scheme.Price(evening))
+	// Output:
+	// 05:00 peak=false price=0.18 $/kWh
+	// 20:00 peak=true price=0.21 $/kWh
+}

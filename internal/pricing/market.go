@@ -1,0 +1,120 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/timeseries"
+)
+
+// MarketConfig parameterizes the synthetic real-time price process used for
+// Attack Class 4B experiments. The paper has no RTP data for Ireland
+// (Section VIII-B3), so this process substitutes a mean-reverting
+// diurnal-shaped price: an Ornstein-Uhlenbeck deviation around a daily
+// profile, floored at zero. This captures the two properties the attack and
+// detector care about — prices vary within the day and are noisy across
+// days — without claiming market realism.
+type MarketConfig struct {
+	BaseRate   float64 // mid-level price, $/kWh
+	DailySwing float64 // amplitude of the deterministic diurnal component
+	Reversion  float64 // OU mean-reversion per slot in (0, 1]
+	Volatility float64 // OU innovation stddev, $/kWh
+	Seed       int64
+}
+
+// DefaultMarketConfig returns parameters producing prices comparable to the
+// paper's Nightsaver band (roughly 0.12-0.30 $/kWh).
+func DefaultMarketConfig() MarketConfig {
+	return MarketConfig{
+		BaseRate:   0.195,
+		DailySwing: 0.05,
+		Reversion:  0.1,
+		Volatility: 0.008,
+		Seed:       1,
+	}
+}
+
+// GenerateRTP simulates a real-time price trace of the given number of slots.
+func GenerateRTP(cfg MarketConfig, slots int) (RTP, error) {
+	if slots <= 0 {
+		return RTP{}, fmt.Errorf("pricing: slots must be positive, got %d", slots)
+	}
+	if cfg.Reversion <= 0 || cfg.Reversion > 1 {
+		return RTP{}, fmt.Errorf("pricing: reversion %g outside (0, 1]", cfg.Reversion)
+	}
+	if cfg.BaseRate <= 0 {
+		return RTP{}, fmt.Errorf("pricing: base rate must be positive, got %g", cfg.BaseRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trace := make([]float64, slots)
+	dev := 0.0
+	for i := 0; i < slots; i++ {
+		slot := timeseries.Slot(i)
+		hour := slot.HourOfDay()
+		// Diurnal shape: afternoon/evening maximum around 18:00.
+		diurnal := cfg.DailySwing * math.Sin(2*math.Pi*(hour-6)/24)
+		dev += -cfg.Reversion*dev + cfg.Volatility*rng.NormFloat64()
+		p := cfg.BaseRate + diurnal + dev
+		if p < 0.01 {
+			p = 0.01 // price floor keeps λ(t) positive
+		}
+		trace[i] = p
+	}
+	return NewRTP(trace)
+}
+
+// PriceTier groups slots by price so distribution-based detectors can
+// condition on λ(t) (the "conditioning on prices" extension of the KLD
+// detector in Section VIII-F3).
+type PriceTier int
+
+// Tier assignment for two-tier TOU schemes.
+const (
+	OffPeakTier PriceTier = iota
+	PeakTier
+)
+
+// TierOf maps a slot to its TOU tier.
+func (p TOU) TierOf(t timeseries.Slot) PriceTier {
+	if p.InPeak(t) {
+		return PeakTier
+	}
+	return OffPeakTier
+}
+
+// QuantizeRTP assigns each slot of an RTP trace to one of n equal-population
+// price tiers, enabling the multi-distribution KLD conditioning the paper
+// proposes for RTP systems. It returns the per-slot tier assignment.
+func QuantizeRTP(r RTP, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pricing: tier count must be positive, got %d", n)
+	}
+	if len(r.Trace) == 0 {
+		return nil, fmt.Errorf("pricing: empty RTP trace")
+	}
+	sorted := make([]float64, len(r.Trace))
+	copy(sorted, r.Trace)
+	sort.Float64s(sorted)
+	// Tier boundaries at equally spaced quantiles.
+	bounds := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		idx := i * len(sorted) / n
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		bounds[i-1] = sorted[idx]
+	}
+	tiers := make([]int, len(r.Trace))
+	for i, p := range r.Trace {
+		tier := 0
+		for _, b := range bounds {
+			if p >= b {
+				tier++
+			}
+		}
+		tiers[i] = tier
+	}
+	return tiers, nil
+}

@@ -1,0 +1,115 @@
+package pricing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestGenerateRTPValidation(t *testing.T) {
+	cfg := DefaultMarketConfig()
+	if _, err := GenerateRTP(cfg, 0); err == nil {
+		t.Error("zero slots should error")
+	}
+	bad := cfg
+	bad.Reversion = 0
+	if _, err := GenerateRTP(bad, 10); err == nil {
+		t.Error("zero reversion should error")
+	}
+	bad = cfg
+	bad.BaseRate = 0
+	if _, err := GenerateRTP(bad, 10); err == nil {
+		t.Error("zero base rate should error")
+	}
+}
+
+func TestGenerateRTPProperties(t *testing.T) {
+	cfg := DefaultMarketConfig()
+	r, err := GenerateRTP(cfg, timeseries.SlotsPerWeek*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) != timeseries.SlotsPerWeek*2 {
+		t.Fatalf("trace length = %d", len(r.Trace))
+	}
+	var lo, hi float64 = r.Trace[0], r.Trace[0]
+	for _, p := range r.Trace {
+		if p <= 0 {
+			t.Fatal("prices must stay positive")
+		}
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi <= lo {
+		t.Error("RTP prices should actually vary")
+	}
+	// Determinism from the seed.
+	r2, _ := GenerateRTP(cfg, timeseries.SlotsPerWeek*2)
+	for i := range r.Trace {
+		if r.Trace[i] != r2.Trace[i] {
+			t.Fatal("RTP generation must be deterministic for a fixed seed")
+		}
+	}
+	// Different seed, different trace.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	r3, _ := GenerateRTP(cfg2, timeseries.SlotsPerWeek*2)
+	same := true
+	for i := range r.Trace {
+		if r.Trace[i] != r3.Trace[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different traces")
+	}
+}
+
+func TestQuantizeRTP(t *testing.T) {
+	r, err := NewRTP([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := QuantizeRTP(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 8 {
+		t.Fatalf("tier assignment length = %d", len(tiers))
+	}
+	// Lower half in tier 0, upper half in tier 1.
+	for i := 0; i < 4; i++ {
+		if tiers[i] != 0 {
+			t.Errorf("slot %d tier = %d, want 0", i, tiers[i])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if tiers[i] != 1 {
+			t.Errorf("slot %d tier = %d, want 1", i, tiers[i])
+		}
+	}
+	if _, err := QuantizeRTP(r, 0); err == nil {
+		t.Error("zero tiers should error")
+	}
+	if _, err := QuantizeRTP(RTP{}, 2); err == nil {
+		t.Error("empty trace should error")
+	}
+	// Single tier: everything is tier 0.
+	one, err := QuantizeRTP(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range one {
+		if tier != 0 {
+			t.Error("single-tier quantization should assign 0 everywhere")
+		}
+	}
+}

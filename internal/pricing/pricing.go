@@ -1,0 +1,217 @@
+// Package pricing implements the electricity pricing schemes of Section III
+// of the paper — flat-rate, time-of-use (TOU), and real-time pricing (RTP) —
+// together with the billing, attacker-profit, and neighbour-loss equations
+// (Eqs. 1, 2, 10, 11).
+//
+// Prices are in $/kWh; demands are average kW per half-hour slot; bills are
+// in $ and always include the Δt factor that converts demand to energy.
+package pricing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// SchemeKind enumerates the pricing schemes considered by the paper.
+type SchemeKind int
+
+// The pricing schemes of Section III.
+const (
+	FlatRate SchemeKind = iota + 1
+	TimeOfUse
+	RealTime
+)
+
+// String names the scheme kind.
+func (k SchemeKind) String() string {
+	switch k {
+	case FlatRate:
+		return "flat-rate"
+	case TimeOfUse:
+		return "time-of-use"
+	case RealTime:
+		return "real-time"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(k))
+	}
+}
+
+// Scheme yields the electricity price λ(t) for any half-hour slot t.
+// Implementations must be deterministic: price signals are published (flat,
+// TOU) or recorded (RTP), so replaying a billing cycle must reproduce the
+// same prices.
+type Scheme interface {
+	// Price returns λ(t) in $/kWh for the slot.
+	Price(t timeseries.Slot) float64
+	// Kind reports which class of scheme this is.
+	Kind() SchemeKind
+}
+
+// Flat is a flat-rate scheme: λ(t) is constant for the whole billing cycle.
+type Flat struct {
+	Rate float64 // $/kWh
+}
+
+// Price implements Scheme.
+func (f Flat) Price(timeseries.Slot) float64 { return f.Rate }
+
+// Kind implements Scheme.
+func (f Flat) Kind() SchemeKind { return FlatRate }
+
+// TOU is a two-period time-of-use scheme with a peak window [PeakStartHour,
+// PeakEndHour) each day. The paper's evaluation uses the Electric Ireland
+// Nightsaver plan: peak 9:00–24:00 at 0.21 $/kWh, off-peak 0:00–9:00 at
+// 0.18 $/kWh (Section VIII-C).
+type TOU struct {
+	PeakRate      float64 // $/kWh during the peak window
+	OffPeakRate   float64 // $/kWh outside the peak window
+	PeakStartHour float64 // inclusive, hours in [0, 24)
+	PeakEndHour   float64 // exclusive, hours in (0, 24]
+}
+
+// Nightsaver returns the TOU scheme used throughout the paper's evaluation.
+func Nightsaver() TOU {
+	return TOU{
+		PeakRate:      0.21,
+		OffPeakRate:   0.18,
+		PeakStartHour: 9,
+		PeakEndHour:   24,
+	}
+}
+
+// Price implements Scheme.
+func (p TOU) Price(t timeseries.Slot) float64 {
+	if p.InPeak(t) {
+		return p.PeakRate
+	}
+	return p.OffPeakRate
+}
+
+// InPeak reports whether the slot falls inside the daily peak window.
+func (p TOU) InPeak(t timeseries.Slot) bool {
+	h := t.HourOfDay()
+	return h >= p.PeakStartHour && h < p.PeakEndHour
+}
+
+// Kind implements Scheme.
+func (p TOU) Kind() SchemeKind { return TimeOfUse }
+
+// RTP is a real-time pricing scheme backed by a recorded price trace, one
+// price per slot. Slots beyond the trace repeat it cyclically so detectors
+// and simulations can run past the recorded horizon.
+type RTP struct {
+	Trace []float64 // $/kWh per slot
+}
+
+// NewRTP validates and constructs a real-time scheme from a price trace.
+func NewRTP(trace []float64) (RTP, error) {
+	if len(trace) == 0 {
+		return RTP{}, fmt.Errorf("pricing: RTP trace must be nonempty")
+	}
+	for i, p := range trace {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return RTP{}, fmt.Errorf("pricing: invalid RTP price %g at slot %d", p, i)
+		}
+	}
+	t := make([]float64, len(trace))
+	copy(t, trace)
+	return RTP{Trace: t}, nil
+}
+
+// Price implements Scheme.
+func (r RTP) Price(t timeseries.Slot) float64 {
+	if len(r.Trace) == 0 {
+		return math.NaN()
+	}
+	return r.Trace[int(t)%len(r.Trace)]
+}
+
+// Kind implements Scheme.
+func (r RTP) Kind() SchemeKind { return RealTime }
+
+// Interface compliance checks.
+var (
+	_ Scheme = Flat{}
+	_ Scheme = TOU{}
+	_ Scheme = RTP{}
+)
+
+// Bill computes what the utility charges for the demand series under the
+// scheme, starting at the given slot offset (Eq. 2's B terms):
+//
+//	B = Δt · Σ_t λ(t) D(t)
+func Bill(s Scheme, demand timeseries.Series, start timeseries.Slot) float64 {
+	var total float64
+	for i, d := range demand {
+		total += s.Price(start+timeseries.Slot(i)) * d
+	}
+	return total * timeseries.DeltaHours
+}
+
+// Profit computes Mallory's monetary advantage α (Eq. 2): the bill on actual
+// consumption minus the bill on reported consumption. A successful theft
+// attack has Profit > 0 (Eq. 1).
+func Profit(s Scheme, actual, reported timeseries.Series, start timeseries.Slot) (float64, error) {
+	if len(actual) != len(reported) {
+		return math.NaN(), fmt.Errorf("pricing: %w", timeseries.ErrLengthMismatch)
+	}
+	return Bill(s, actual, start) - Bill(s, reported, start), nil
+}
+
+// NeighbourLoss computes L_n (Eq. 10): the amount a victimized neighbour is
+// overbilled because the attacker over-reported the neighbour's consumption.
+func NeighbourLoss(s Scheme, actual, reported timeseries.Series, start timeseries.Slot) (float64, error) {
+	if len(actual) != len(reported) {
+		return math.NaN(), fmt.Errorf("pricing: %w", timeseries.ErrLengthMismatch)
+	}
+	return Bill(s, reported, start) - Bill(s, actual, start), nil
+}
+
+// PerceivedBenefit computes ΔB (Eq. 11) for Attack Class 4B: the difference
+// between the bill the victim expects under the spoofed prices he observed
+// and the bill the utility actually sends under true prices. A positive
+// value means the victim believes he benefited even though he lost L_n.
+func PerceivedBenefit(trueScheme Scheme, spoofedPrices []float64, reported timeseries.Series, start timeseries.Slot) (float64, error) {
+	if len(spoofedPrices) != len(reported) {
+		return math.NaN(), fmt.Errorf("pricing: spoofed price trace length %d != reported length %d",
+			len(spoofedPrices), len(reported))
+	}
+	var expected float64
+	for i, d := range reported {
+		expected += spoofedPrices[i] * d
+	}
+	expected *= timeseries.DeltaHours
+	return expected - Bill(trueScheme, reported, start), nil
+}
+
+// StolenEnergy returns the energy (kWh) under-reported by the attacker:
+// Δt · Σ max(D(t) - D'(t), 0) summed where actual exceeds reported. For
+// pure load-shifting attacks (Class 3A/3B) this can be zero while Profit is
+// still positive.
+func StolenEnergy(actual, reported timeseries.Series) (float64, error) {
+	if len(actual) != len(reported) {
+		return math.NaN(), fmt.Errorf("pricing: %w", timeseries.ErrLengthMismatch)
+	}
+	var kwh float64
+	for i := range actual {
+		if d := actual[i] - reported[i]; d > 0 {
+			kwh += d
+		}
+	}
+	return kwh * timeseries.DeltaHours, nil
+}
+
+// NetEnergyDelta returns Δt · Σ (D(t) - D'(t)): positive when consumption is
+// under-reported on net, zero for pure swaps.
+func NetEnergyDelta(actual, reported timeseries.Series) (float64, error) {
+	if len(actual) != len(reported) {
+		return math.NaN(), fmt.Errorf("pricing: %w", timeseries.ErrLengthMismatch)
+	}
+	var kwh float64
+	for i := range actual {
+		kwh += actual[i] - reported[i]
+	}
+	return kwh * timeseries.DeltaHours, nil
+}

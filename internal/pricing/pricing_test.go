@@ -1,0 +1,254 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timeseries"
+)
+
+func TestSchemeKindString(t *testing.T) {
+	if FlatRate.String() != "flat-rate" || TimeOfUse.String() != "time-of-use" || RealTime.String() != "real-time" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(SchemeKind(99).String(), "99") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestFlatPrice(t *testing.T) {
+	f := Flat{Rate: 0.2}
+	for _, slot := range []timeseries.Slot{0, 100, 5000} {
+		if f.Price(slot) != 0.2 {
+			t.Fatal("flat price must be constant")
+		}
+	}
+	if f.Kind() != FlatRate {
+		t.Error("kind")
+	}
+}
+
+func TestNightsaverWindows(t *testing.T) {
+	p := Nightsaver()
+	if p.Kind() != TimeOfUse {
+		t.Error("kind")
+	}
+	tests := []struct {
+		slotOfDay int
+		wantPeak  bool
+	}{
+		{0, false},  // 00:00
+		{17, false}, // 08:30
+		{18, true},  // 09:00 — peak starts
+		{30, true},  // 15:00
+		{47, true},  // 23:30
+	}
+	for _, tt := range tests {
+		slot := timeseries.Slot(tt.slotOfDay)
+		if got := p.InPeak(slot); got != tt.wantPeak {
+			t.Errorf("slot %d InPeak = %v, want %v", tt.slotOfDay, got, tt.wantPeak)
+		}
+		wantPrice := 0.18
+		if tt.wantPeak {
+			wantPrice = 0.21
+		}
+		if got := p.Price(slot); got != wantPrice {
+			t.Errorf("slot %d price = %g, want %g", tt.slotOfDay, got, wantPrice)
+		}
+	}
+	// Next day repeats the window.
+	if !p.InPeak(timeseries.Slot(48 + 20)) {
+		t.Error("peak window must repeat daily")
+	}
+	if p.TierOf(0) != OffPeakTier || p.TierOf(20) != PeakTier {
+		t.Error("TierOf wrong")
+	}
+}
+
+func TestNewRTPValidation(t *testing.T) {
+	if _, err := NewRTP(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewRTP([]float64{0.1, -0.2}); err == nil {
+		t.Error("negative price should error")
+	}
+	if _, err := NewRTP([]float64{math.NaN()}); err == nil {
+		t.Error("NaN price should error")
+	}
+	r, err := NewRTP([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != RealTime {
+		t.Error("kind")
+	}
+	if r.Price(0) != 0.1 || r.Price(1) != 0.2 || r.Price(2) != 0.1 {
+		t.Error("RTP trace must repeat cyclically")
+	}
+	// Construction copies the trace.
+	src := []float64{0.5}
+	r2, _ := NewRTP(src)
+	src[0] = 0.9
+	if r2.Price(0) != 0.5 {
+		t.Error("NewRTP must copy the trace")
+	}
+}
+
+func TestBillFlat(t *testing.T) {
+	// 4 slots at 2 kW, 0.2 $/kWh: energy 4 kWh, bill $0.8.
+	d := timeseries.Series{2, 2, 2, 2}
+	got := Bill(Flat{Rate: 0.2}, d, 0)
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("bill = %g, want 0.8", got)
+	}
+}
+
+func TestBillTOUStartOffset(t *testing.T) {
+	p := Nightsaver()
+	d := timeseries.Series{1, 1}
+	// Starting at slot 17 (08:30): first slot off-peak, second peak.
+	got := Bill(p, d, 17)
+	want := (0.18 + 0.21) * 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bill = %g, want %g", got, want)
+	}
+}
+
+func TestProfitEquationOne(t *testing.T) {
+	// Under-reporting yields positive profit (Eq. 1).
+	actual := timeseries.Series{2, 2, 2, 2}
+	reported := timeseries.Series{1, 1, 1, 1}
+	p, err := Profit(Flat{Rate: 0.2}, actual, reported, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("profit = %g, want 0.4", p)
+	}
+	// Honest reporting: zero profit.
+	p, _ = Profit(Flat{Rate: 0.2}, actual, actual, 0)
+	if p != 0 {
+		t.Errorf("honest profit = %g, want 0", p)
+	}
+	if _, err := Profit(Flat{}, actual, timeseries.Series{1}, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestLoadShiftProfitWithoutTheft(t *testing.T) {
+	// Attack Class 3A: swap a peak reading with an off-peak reading. Total
+	// energy reported equals total consumed, yet profit is positive.
+	p := Nightsaver()
+	actual := make(timeseries.Series, timeseries.SlotsPerDay)
+	reported := make(timeseries.Series, timeseries.SlotsPerDay)
+	actual[20] = 5 // 10:00, peak
+	actual[2] = 1  // 01:00, off-peak
+	copy(reported, actual)
+	reported[20], reported[2] = reported[2], reported[20]
+
+	profit, err := Profit(p, actual, reported, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profit <= 0 {
+		t.Errorf("swap profit = %g, want > 0", profit)
+	}
+	// No net energy was stolen.
+	net, _ := NetEnergyDelta(actual, reported)
+	if math.Abs(net) > 1e-12 {
+		t.Errorf("net energy delta = %g, want 0", net)
+	}
+	// Expected: (5-1) kW moved from 0.21 to 0.18 tier over 0.5h.
+	want := 4 * 0.5 * (0.21 - 0.18)
+	if math.Abs(profit-want) > 1e-12 {
+		t.Errorf("profit = %g, want %g", profit, want)
+	}
+}
+
+func TestNeighbourLoss(t *testing.T) {
+	actual := timeseries.Series{1, 1}
+	reported := timeseries.Series{3, 1} // over-reported at slot 0
+	loss, err := NeighbourLoss(Flat{Rate: 0.2}, actual, reported, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 0.5 * 0.2
+	if math.Abs(loss-want) > 1e-12 {
+		t.Errorf("loss = %g, want %g", loss, want)
+	}
+	if _, err := NeighbourLoss(Flat{}, actual, timeseries.Series{1}, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestPerceivedBenefit(t *testing.T) {
+	// Victim sees spoofed higher prices; utility bills at true prices.
+	reported := timeseries.Series{2, 2}
+	spoofed := []float64{0.5, 0.5}
+	db, err := PerceivedBenefit(Flat{Rate: 0.2}, spoofed, reported, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5-0.2)*2*0.5 + (0.5-0.2)*2*0.5
+	if math.Abs(db-want) > 1e-12 {
+		t.Errorf("ΔB = %g, want %g", db, want)
+	}
+	if db <= 0 {
+		t.Error("ΔB must be positive for an inflated spoofed price (Eq. 11)")
+	}
+	if _, err := PerceivedBenefit(Flat{}, []float64{0.1}, reported, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestStolenEnergy(t *testing.T) {
+	actual := timeseries.Series{3, 1, 2}
+	reported := timeseries.Series{1, 2, 2}
+	kwh, err := StolenEnergy(actual, reported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only slot 0 under-reports: 2 kW * 0.5 h = 1 kWh.
+	if math.Abs(kwh-1) > 1e-12 {
+		t.Errorf("stolen = %g, want 1", kwh)
+	}
+	if _, err := StolenEnergy(actual, timeseries.Series{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NetEnergyDelta(actual, timeseries.Series{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestPropositionOneProperty(t *testing.T) {
+	// Proposition 1: positive profit requires under-reporting at some slot.
+	scheme := Nightsaver()
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		n := 8 + rng.Intn(40)
+		actual := make(timeseries.Series, n)
+		reported := make(timeseries.Series, n)
+		for i := range actual {
+			actual[i] = rng.Float64() * 5
+			reported[i] = rng.Float64() * 5
+		}
+		profit, err := Profit(scheme, actual, reported, 0)
+		if err != nil {
+			return false
+		}
+		if profit <= 0 {
+			return true // proposition only constrains profitable attacks
+		}
+		for i := range actual {
+			if reported[i] < actual[i] {
+				return true // found the required under-report
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attack"
+	"repro/internal/stats"
+)
+
+// TestHonestScenarioInvariantsProperty: for any seed and population, an
+// attack-free scenario steals nothing, balances every week, and leaves no
+// unaccounted energy.
+func TestHonestScenarioInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 40)
+		sc := Scenario{
+			Consumers:  2 + rng.Intn(5),
+			TrainWeeks: 6,
+			LiveWeeks:  1 + rng.Intn(2),
+			Seed:       rng.Int63(),
+		}
+		res, err := Run(sc)
+		if err != nil {
+			return false
+		}
+		if res.StolenKWh != 0 || res.TruePositives != 0 || res.FalseNegatives != 0 {
+			return false
+		}
+		for _, w := range res.Weeks {
+			if !w.RootBalanced {
+				return false
+			}
+			if w.UnaccountedKWh > 1e-6 || w.UnaccountedKWh < -1e-6 {
+				return false
+			}
+			if w.RevenueUSD <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalancedAttacksAlwaysBalanceProperty: Class 2B keeps the root balance
+// intact for any magnitude and victim choice (Proposition 2 as a property).
+func TestBalancedAttacksAlwaysBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 41)
+		consumers := 3 + rng.Intn(4)
+		attacker := rng.Intn(consumers)
+		victim := (attacker + 1 + rng.Intn(consumers-1)) % consumers
+		if victim == attacker {
+			return true // constructionally excluded; skip
+		}
+		sc := Scenario{
+			Consumers:  consumers,
+			TrainWeeks: 6,
+			LiveWeeks:  1,
+			Seed:       rng.Int63(),
+			Attacks: []AttackScript{{
+				Week:      0,
+				Class:     attack.Class2B,
+				Attacker:  attacker,
+				Victim:    victim,
+				Magnitude: 0.1 + 0.8*rng.Float64(),
+			}},
+		}
+		res, err := Run(sc)
+		if err != nil {
+			return false
+		}
+		return res.Weeks[0].RootBalanced && res.StolenKWh > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnbalancedAttacksNeverBalanceProperty: Class 2A with a substantial
+// magnitude always breaks the root balance (Proposition 1's footprint).
+func TestUnbalancedAttacksNeverBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 42)
+		consumers := 2 + rng.Intn(3)
+		sc := Scenario{
+			Consumers:  consumers,
+			TrainWeeks: 6,
+			LiveWeeks:  1,
+			Seed:       rng.Int63(),
+			Attacks: []AttackScript{{
+				Week:      0,
+				Class:     attack.Class2A,
+				Attacker:  rng.Intn(consumers),
+				Magnitude: 0.5 + 0.4*rng.Float64(), // hide 50-90%
+			}},
+		}
+		res, err := Run(sc)
+		if err != nil {
+			return false
+		}
+		return !res.Weeks[0].RootBalanced && res.Weeks[0].UnaccountedKWh > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package stats provides the statistical primitives that F-DETA's detectors
+// and attack generators are built on: descriptive statistics, percentiles,
+// fixed-edge histograms, Kullback-Leibler divergence (Eq. 12 of the paper),
+// the normal and truncated-normal distributions, and deterministic random
+// number generation.
+//
+// Everything in this package is hand-rolled on top of the Go standard
+// library; there are no external numerical dependencies. All stochastic
+// helpers take an explicit *rand.Rand so that experiments are reproducible
+// bit-for-bit from a seed.
+package stats

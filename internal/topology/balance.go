@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Snapshot captures one polling period t of the grid: per-consumer actual
+// and reported demands, calculated losses, and the set of compromised
+// balance meters. Demands are average kW for the period.
+type Snapshot struct {
+	// ConsumerActual is D_c(t) for every consumer leaf.
+	ConsumerActual map[string]float64
+	// ConsumerReported is D'_c(t) for every consumer leaf.
+	ConsumerReported map[string]float64
+	// LossCalc is the utility-calculated loss demand D_l(t) for each loss
+	// leaf; losses are never reported by meters (Section V-A).
+	LossCalc map[string]float64
+	// CompromisedMeters lists balance meters the attacker controls. A
+	// compromised balance meter reports whatever value makes its check
+	// pass, which is the attacker's optimal play.
+	CompromisedMeters map[string]bool
+}
+
+// NewSnapshot returns an empty snapshot ready for population.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		ConsumerActual:    make(map[string]float64),
+		ConsumerReported:  make(map[string]float64),
+		LossCalc:          make(map[string]float64),
+		CompromisedMeters: make(map[string]bool),
+	}
+}
+
+// ActualDemand returns the physical demand D_N(t) at the node: for leaves,
+// their own demand; for internal nodes, the sum over the subtree (Eq. 4).
+// Missing consumers or losses default to zero demand.
+func (s *Snapshot) ActualDemand(n *Node) float64 {
+	switch n.Kind {
+	case Consumer:
+		return s.ConsumerActual[n.ID]
+	case Loss:
+		return s.LossCalc[n.ID]
+	default:
+		var sum float64
+		for _, c := range n.Children {
+			sum += s.ActualDemand(c)
+		}
+		return sum
+	}
+}
+
+// ReportedAggregate returns Σ_{c∈C} D'_c(t) + Σ_{l∈L} D_l(t), the right-hand
+// side of the balance check (Eq. 5) at the node.
+func (s *Snapshot) ReportedAggregate(n *Node) float64 {
+	var sum float64
+	for _, c := range DescendantConsumers(n) {
+		sum += s.ConsumerReported[c.ID]
+	}
+	for _, l := range DescendantLosses(n) {
+		sum += s.LossCalc[l.ID]
+	}
+	return sum
+}
+
+// BalanceReading returns D'_N(t), the value the balance meter at the node
+// reports to the utility. An uncompromised meter reports the physical
+// demand; a compromised one reports the value that satisfies the check.
+func (s *Snapshot) BalanceReading(n *Node) float64 {
+	if s.CompromisedMeters[n.ID] {
+		return s.ReportedAggregate(n)
+	}
+	return s.ActualDemand(n)
+}
+
+// CheckResult is the outcome of the balance check at one metered node.
+type CheckResult struct {
+	NodeID   string
+	Pass     bool
+	Mismatch float64 // D'_N - Σ D'_c - Σ D_l, in kW
+	Depth    int
+}
+
+// BalanceChecker evaluates balance checks with a mismatch tolerance that
+// absorbs smart-meter measurement error (the ±2% figure of Section VII-A)
+// and floating-point noise.
+type BalanceChecker struct {
+	// AbsTol is the absolute mismatch (kW) below which a check passes.
+	AbsTol float64
+	// RelTol is the mismatch tolerance relative to the node's demand.
+	RelTol float64
+}
+
+// DefaultChecker matches the paper's measurement-accuracy assumption.
+func DefaultChecker() BalanceChecker {
+	return BalanceChecker{AbsTol: 1e-6, RelTol: 0.02}
+}
+
+// Check runs the balance check (Eq. 5) at one node. The node must be an
+// internal node with a meter.
+func (bc BalanceChecker) Check(n *Node, s *Snapshot) (CheckResult, error) {
+	if n.Kind != Internal {
+		return CheckResult{}, fmt.Errorf("topology: balance check on %v node %q", n.Kind, n.ID)
+	}
+	if !n.Metered {
+		return CheckResult{}, fmt.Errorf("topology: node %q has no balance meter", n.ID)
+	}
+	reading := s.BalanceReading(n)
+	agg := s.ReportedAggregate(n)
+	mismatch := reading - agg
+	tol := bc.AbsTol + bc.RelTol*math.Abs(reading)
+	return CheckResult{
+		NodeID:   n.ID,
+		Pass:     math.Abs(mismatch) <= tol,
+		Mismatch: mismatch,
+		Depth:    n.Depth(),
+	}, nil
+}
+
+// CheckAll runs the balance check at every metered internal node and
+// returns results keyed by node ID.
+func (bc BalanceChecker) CheckAll(t *Tree, s *Snapshot) (map[string]CheckResult, error) {
+	results := make(map[string]CheckResult)
+	err := t.Walk(func(n *Node) error {
+		if n.Kind != Internal || !n.Metered {
+			return nil
+		}
+		r, err := bc.Check(n, s)
+		if err != nil {
+			return err
+		}
+		results[n.ID] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Alarm flags a meter inconsistency per Section V-B: a node whose check
+// fails while its parent's passes (or vice versa with all children passing)
+// implies a faulty or compromised meter.
+type Alarm struct {
+	NodeID string
+	Reason string
+}
+
+// MeterAlarms applies the Section V-B consistency rules to a full set of
+// check results and returns the alarms raised, sorted by node ID.
+func MeterAlarms(t *Tree, results map[string]CheckResult) []Alarm {
+	var alarms []Alarm
+	for id, r := range results {
+		n, err := t.Node(id)
+		if err != nil {
+			continue
+		}
+		// Rule 1: W true for a node but false for its metered parent.
+		if !r.Pass && n.Parent != nil {
+			if pr, ok := results[n.Parent.ID]; ok && pr.Pass {
+				alarms = append(alarms, Alarm{
+					NodeID: id,
+					Reason: fmt.Sprintf("check fails at %s but passes at parent %s: meter at %s or %s is faulty or compromised",
+						id, n.Parent.ID, id, n.Parent.ID),
+				})
+			}
+		}
+		// Rule 2: W true for a parent whose metered internal children all
+		// have W false.
+		if !r.Pass {
+			internalChildren := 0
+			passingChildren := 0
+			for _, c := range n.Children {
+				if c.Kind == Internal && c.Metered {
+					internalChildren++
+					if cr, ok := results[c.ID]; ok && cr.Pass {
+						passingChildren++
+					}
+				}
+			}
+			if internalChildren > 0 && internalChildren == passingChildren {
+				alarms = append(alarms, Alarm{
+					NodeID: id,
+					Reason: fmt.Sprintf("check fails at %s but passes at all metered children: a child meter or %s itself is faulty or compromised",
+						id, id),
+				})
+			}
+		}
+	}
+	sort.Slice(alarms, func(i, j int) bool { return alarms[i].NodeID < alarms[j].NodeID })
+	return alarms
+}

@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Investigation is the outcome of a theft-localization procedure: the set of
+// consumer IDs that must be manually inspected, and how much of the grid the
+// procedure had to touch.
+type Investigation struct {
+	// Suspects are the consumer IDs in the neighbourhoods implicated by the
+	// failing checks, in sorted order.
+	Suspects []string
+	// NodesVisited counts the internal nodes whose state the procedure
+	// examined (meters read, or serviceman measurements taken).
+	NodesVisited int
+	// DeepestFailures are the IDs of the deepest failing metered nodes
+	// (Case 1 only).
+	DeepestFailures []string
+}
+
+// LocalizeDeepest implements Case 1 of Section V-C: with every internal node
+// metered, find the deepest nodes reporting a balance-check failure whose
+// metered internal children (if any) all pass; the consumers directly under
+// those nodes form the neighbourhood to inspect manually.
+func LocalizeDeepest(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, error) {
+	results, err := bc.CheckAll(t, s)
+	if err != nil {
+		return Investigation{}, err
+	}
+	inv := Investigation{NodesVisited: len(results)}
+	suspectSet := make(map[string]bool)
+	for id, r := range results {
+		if r.Pass {
+			continue
+		}
+		n, err := t.Node(id)
+		if err != nil {
+			return Investigation{}, err
+		}
+		// Deepest failure: no metered internal child also fails.
+		deepest := true
+		for _, c := range n.Children {
+			if c.Kind == Internal && c.Metered {
+				if cr, ok := results[c.ID]; ok && !cr.Pass {
+					deepest = false
+					break
+				}
+			}
+		}
+		if !deepest {
+			continue
+		}
+		inv.DeepestFailures = append(inv.DeepestFailures, id)
+		// The neighbourhood is the consumers under this node that are not
+		// already covered by a passing metered child subtree.
+		for _, c := range n.Children {
+			if c.Kind == Internal && c.Metered {
+				if cr, ok := results[c.ID]; ok && cr.Pass {
+					continue // exonerated subtree
+				}
+			}
+			for _, cons := range DescendantConsumers(c) {
+				suspectSet[cons.ID] = true
+			}
+		}
+	}
+	for id := range suspectSet {
+		inv.Suspects = append(inv.Suspects, id)
+	}
+	sort.Strings(inv.Suspects)
+	sort.Strings(inv.DeepestFailures)
+	return inv, nil
+}
+
+// ServicemanSearch implements Case 2 of Section V-C: starting at the root, a
+// serviceman with a portable (trusted) meter measures each child of the
+// current node and compares the measurement against the sum of reported
+// smart-meter readings and calculated losses beneath it. Only subtrees whose
+// check fails are descended into; passing subtrees are exonerated without
+// further visits. The portable meter reads physical demand, so compromised
+// balance meters cannot mislead it.
+func ServicemanSearch(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, error) {
+	inv := Investigation{}
+	suspectSet := make(map[string]bool)
+
+	queue := []*Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inv.NodesVisited++
+
+		for _, c := range n.Children {
+			switch c.Kind {
+			case Loss:
+				continue
+			case Consumer:
+				// A consumer is checked directly: portable measurement of
+				// the service drop vs the smart-meter report.
+				actual := s.ConsumerActual[c.ID]
+				reported := s.ConsumerReported[c.ID]
+				tol := bc.AbsTol + bc.RelTol*actual
+				if diff := actual - reported; diff > tol || diff < -tol {
+					suspectSet[c.ID] = true
+				}
+			case Internal:
+				actual := s.ActualDemand(c) // portable meter: physical truth
+				agg := s.ReportedAggregate(c)
+				tol := bc.AbsTol + bc.RelTol*actual
+				if diff := actual - agg; diff > tol || diff < -tol {
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	for id := range suspectSet {
+		inv.Suspects = append(inv.Suspects, id)
+	}
+	sort.Strings(inv.Suspects)
+	return inv, nil
+}
+
+// MetersToCompromise returns the number of balance meters Mallory at the
+// given consumer must compromise so that no uncompromised metered node on
+// her supply path fails its check — every metered ancestor except the root,
+// which Section VII-A assumes cannot be compromised. It returns an error if
+// the ID does not name a consumer.
+func MetersToCompromise(t *Tree, consumerID string) (int, error) {
+	n, err := t.Node(consumerID)
+	if err != nil {
+		return 0, err
+	}
+	if n.Kind != Consumer {
+		return 0, fmt.Errorf("topology: %q is a %v node, not a consumer", consumerID, n.Kind)
+	}
+	count := 0
+	for cur := n.Parent; cur != nil && cur.Parent != nil; cur = cur.Parent {
+		if cur.Metered {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestLocalizeDeepestFindsNeighbourhood(t *testing.T) {
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	s.ConsumerReported["C4"] = 0 // theft under N3
+	bc := DefaultChecker()
+	inv, err := LocalizeDeepest(tr, bc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.DeepestFailures) != 1 || inv.DeepestFailures[0] != "N3" {
+		t.Fatalf("deepest failures = %v, want [N3]", inv.DeepestFailures)
+	}
+	// Suspects are exactly N3's consumers; N2's subtree is exonerated.
+	want := map[string]bool{"C4": true, "C5": true}
+	if len(inv.Suspects) != len(want) {
+		t.Fatalf("suspects = %v", inv.Suspects)
+	}
+	for _, id := range inv.Suspects {
+		if !want[id] {
+			t.Errorf("unexpected suspect %s", id)
+		}
+	}
+}
+
+func TestLocalizeDeepestHonestGrid(t *testing.T) {
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	inv, err := LocalizeDeepest(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Suspects) != 0 || len(inv.DeepestFailures) != 0 {
+		t.Errorf("honest grid should have no suspects: %+v", inv)
+	}
+	if inv.NodesVisited != 3 {
+		t.Errorf("NodesVisited = %d, want 3 metered internals", inv.NodesVisited)
+	}
+}
+
+func TestLocalizeDeepestWithCompromisedIntermediateMeter(t *testing.T) {
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	s.ConsumerReported["C4"] = 0
+	s.CompromisedMeters["N3"] = true // hides the deep check
+	inv, err := LocalizeDeepest(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now the deepest failure is the root N1; since its child N3's check
+	// passes (lying meter), suspicion falls on the rest of the subtree.
+	if len(inv.DeepestFailures) != 1 || inv.DeepestFailures[0] != "N1" {
+		t.Fatalf("deepest failures = %v, want [N1]", inv.DeepestFailures)
+	}
+	// N3's subtree is (wrongly) exonerated by its lying meter — exactly why
+	// the paper pairs localization with the meter alarms of Section V-B.
+	for _, id := range inv.Suspects {
+		if id == "C4" || id == "C5" {
+			t.Errorf("lying meter should have exonerated N3's subtree in this procedure; got suspect %s", id)
+		}
+	}
+}
+
+func TestServicemanSearchFindsThief(t *testing.T) {
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	s.ConsumerReported["C4"] = 0
+	s.CompromisedMeters["N3"] = true // cannot fool a portable meter
+	inv, err := ServicemanSearch(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Suspects) != 1 || inv.Suspects[0] != "C4" {
+		t.Fatalf("suspects = %v, want [C4]", inv.Suspects)
+	}
+}
+
+func TestServicemanSearchSkipsCleanSubtrees(t *testing.T) {
+	// Wide tree: root with 4 internal children, theft only under one.
+	tr := NewTree("root")
+	for _, id := range []string{"A", "B", "C", "D"} {
+		tr.AddNode("root", id, Internal, false)
+		tr.AddNode(id, id+"1", Consumer, false)
+		tr.AddNode(id, id+"2", Consumer, false)
+	}
+	s := NewSnapshot()
+	for _, id := range []string{"A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2"} {
+		s.ConsumerActual[id] = 2
+		s.ConsumerReported[id] = 2
+	}
+	s.ConsumerReported["C1"] = 0.5
+
+	inv, err := ServicemanSearch(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Suspects) != 1 || inv.Suspects[0] != "C1" {
+		t.Fatalf("suspects = %v, want [C1]", inv.Suspects)
+	}
+	// Visited root + only the failing subtree C: 2 internal nodes.
+	if inv.NodesVisited != 2 {
+		t.Errorf("NodesVisited = %d, want 2 (clean subtrees skipped)", inv.NodesVisited)
+	}
+}
+
+func TestServicemanSearchHonest(t *testing.T) {
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	inv, err := ServicemanSearch(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Suspects) != 0 {
+		t.Errorf("honest grid: suspects = %v", inv.Suspects)
+	}
+	if inv.NodesVisited != 1 {
+		t.Errorf("NodesVisited = %d, want 1 (root only)", inv.NodesVisited)
+	}
+}
+
+func TestServicemanSearchBalancedTheftInvisible(t *testing.T) {
+	// Attack Class 1B: under-report self, over-report neighbour under the
+	// same parent. No aggregate check can see it; the serviceman's per-
+	// consumer check at the shared parent can.
+	tr, _ := BuildFig2()
+	s := honestSnapshot()
+	s.ConsumerReported["C4"] = 1
+	s.ConsumerReported["C5"] = 8
+	inv, err := ServicemanSearch(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root-level aggregate passes, so the search never descends to N3:
+	// this documents exactly why balance infrastructure alone cannot stop
+	// Class-B attacks and data-driven detection is required (Section VI-B).
+	if len(inv.Suspects) != 0 {
+		t.Errorf("balanced theft should evade aggregate-driven search, got %v", inv.Suspects)
+	}
+}
+
+func TestLocalizeDeepestRandomTree(t *testing.T) {
+	cfg := DefaultBuilderConfig()
+	cfg.Consumers = 30
+	cfg.Seed = 7
+	tr, err := BuildRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSnapshot()
+	for _, c := range tr.Consumers() {
+		s.ConsumerActual[c.ID] = 2
+		s.ConsumerReported[c.ID] = 2
+	}
+	for _, n := range tr.Internals() {
+		for _, ch := range n.Children {
+			if ch.Kind == Loss {
+				s.LossCalc[ch.ID] = 0.05
+			}
+		}
+	}
+	// Thief at the lexically last consumer.
+	thief := tr.Consumers()[len(tr.Consumers())-1].ID
+	s.ConsumerReported[thief] = 0
+
+	inv, err := LocalizeDeepest(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range inv.Suspects {
+		if id == thief {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("thief %s missing from suspects %v", thief, inv.Suspects)
+	}
+	// The neighbourhood must be smaller than the whole consumer set
+	// (that is the value of the tree structure, Section V-C).
+	if len(inv.Suspects) >= len(tr.Consumers()) {
+		t.Errorf("localization did not narrow the search: %d of %d consumers suspected",
+			len(inv.Suspects), len(tr.Consumers()))
+	}
+
+	// The serviceman search must find exactly the thief.
+	sv, err := ServicemanSearch(tr, DefaultChecker(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Suspects) != 1 || sv.Suspects[0] != thief {
+		t.Errorf("serviceman suspects = %v, want [%s]", sv.Suspects, thief)
+	}
+}

@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestLocalizationAlwaysContainsThiefProperty: on any honest-metered random
+// feeder with a single thief, deepest-failure localization must include the
+// thief among the suspects, and the serviceman search must pin exactly the
+// thief.
+func TestLocalizationAlwaysContainsThiefProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 30)
+		cfg := DefaultBuilderConfig()
+		cfg.Consumers = 10 + rng.Intn(40)
+		cfg.Seed = rng.Int63()
+		cfg.TargetDepth = 3 + rng.Intn(5)
+		tree, err := BuildRandom(cfg)
+		if err != nil {
+			return false
+		}
+		snap := NewSnapshot()
+		for _, c := range tree.Consumers() {
+			d := 0.5 + 3*rng.Float64()
+			snap.ConsumerActual[c.ID] = d
+			snap.ConsumerReported[c.ID] = d
+		}
+		for _, n := range tree.Internals() {
+			for _, ch := range n.Children {
+				if ch.Kind == Loss {
+					snap.LossCalc[ch.ID] = 0.01
+				}
+			}
+		}
+		consumers := tree.Consumers()
+		thief := consumers[rng.Intn(len(consumers))].ID
+		// The theft must clear the checker's ±2% relative tolerance at
+		// every aggregation level — a small thief on a large feeder hides
+		// inside measurement error (which is itself a finding the package
+		// documents). Make the thief's hidden demand dominate the feeder.
+		var feederDemand float64
+		for _, c := range tree.Consumers() {
+			feederDemand += snap.ConsumerActual[c.ID]
+		}
+		snap.ConsumerActual[thief] = feederDemand // thief doubles the feeder load...
+		snap.ConsumerReported[thief] = 0          // ...and reports none of it
+
+		inv, err := LocalizeDeepest(tree, DefaultChecker(), snap)
+		if err != nil {
+			return false
+		}
+		found := false
+		for _, id := range inv.Suspects {
+			if id == thief {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		sv, err := ServicemanSearch(tree, DefaultChecker(), snap)
+		if err != nil {
+			return false
+		}
+		return len(sv.Suspects) == 1 && sv.Suspects[0] == thief
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHonestGridNeverAlarmsProperty: no alarms and no suspects on any
+// honest random feeder.
+func TestHonestGridNeverAlarmsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 31)
+		cfg := DefaultBuilderConfig()
+		cfg.Consumers = 5 + rng.Intn(30)
+		cfg.Seed = rng.Int63()
+		tree, err := BuildRandom(cfg)
+		if err != nil {
+			return false
+		}
+		snap := NewSnapshot()
+		for _, c := range tree.Consumers() {
+			d := rng.Float64() * 5
+			snap.ConsumerActual[c.ID] = d
+			snap.ConsumerReported[c.ID] = d
+		}
+		for _, n := range tree.Internals() {
+			for _, ch := range n.Children {
+				if ch.Kind == Loss {
+					snap.LossCalc[ch.ID] = 0.01
+				}
+			}
+		}
+		bc := DefaultChecker()
+		results, err := bc.CheckAll(tree, snap)
+		if err != nil {
+			return false
+		}
+		for _, r := range results {
+			if !r.Pass {
+				return false
+			}
+		}
+		if len(MeterAlarms(tree, results)) != 0 {
+			return false
+		}
+		inv, err := LocalizeDeepest(tree, bc, snap)
+		if err != nil {
+			return false
+		}
+		return len(inv.Suspects) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDemandAdditivityProperty: Eq. 4 — a node's actual demand equals the
+// sum of its direct children's actual demands, everywhere in any tree.
+func TestDemandAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.SplitRand(seed, 32)
+		cfg := DefaultBuilderConfig()
+		cfg.Consumers = 5 + rng.Intn(25)
+		cfg.Seed = rng.Int63()
+		tree, err := BuildRandom(cfg)
+		if err != nil {
+			return false
+		}
+		snap := NewSnapshot()
+		for _, c := range tree.Consumers() {
+			snap.ConsumerActual[c.ID] = rng.Float64() * 4
+		}
+		for _, n := range tree.Internals() {
+			for _, ch := range n.Children {
+				if ch.Kind == Loss {
+					snap.LossCalc[ch.ID] = rng.Float64() * 0.1
+				}
+			}
+		}
+		ok := true
+		_ = tree.Walk(func(n *Node) error {
+			if n.Kind != Internal {
+				return nil
+			}
+			var sum float64
+			for _, c := range n.Children {
+				sum += snap.ActualDemand(c)
+			}
+			total := snap.ActualDemand(n)
+			if diff := total - sum; diff > 1e-9 || diff < -1e-9 {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
