@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-quick verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-quick: one pass over the hot-path microbenchmarks — enough to catch
+# a gross perf/allocation regression without a full benchmark session.
+bench-quick:
+	$(GO) test -run=NONE -bench 'BenchmarkSelectOrder|BenchmarkTrainedSuite|BenchmarkKLDDetect|BenchmarkIntegratedARIMAAttack' -benchtime=1x -benchmem .
+
+# bench: record the full benchmark trajectory into results/bench/BENCH_<date>.json.
+bench:
+	$(GO) run ./cmd/fdeta bench
+
+# verify: the gate for every PR — build, vet, the race detector across the
+# parallel order selection and evaluation pool, and the quick benchmarks.
+verify: build vet race bench-quick

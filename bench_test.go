@@ -24,6 +24,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/arima"
 	"repro/internal/attack"
 	"repro/internal/billing"
 	"repro/internal/dataset"
@@ -351,6 +352,37 @@ func BenchmarkARIMAFit(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := detect.NewARIMADetector(train, detect.ARIMAConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectOrder(b *testing.B) {
+	train, _ := loadBenchSeries(b)
+	candidates := arima.DefaultCandidates()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := arima.SelectOrder(train, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainedSuite trains every Table II/III detector row from one
+// series — the fit-once path evaluateConsumer uses. Compare with the sum of
+// BenchmarkARIMAFit (×2 in the seed pipeline) + 2×BenchmarkKLDTrain + the
+// price-KLD constructions to see what sharing saves.
+func BenchmarkTrainedSuite(b *testing.B) {
+	train, _ := loadBenchSeries(b)
+	scheme := benchOptions().Scheme
+	tierFn := func(slot int) int { return int(scheme.TierOf(timeseries.Slot(slot))) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := detect.NewTrainedSuite(train, detect.SuiteConfig{
+			KLD:      detect.KLDConfig{Significance: 0.05},
+			PriceKLD: detect.PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

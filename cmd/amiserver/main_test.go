@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,8 +13,27 @@ import (
 	ts "repro/internal/timeseries"
 )
 
+// syncBuffer guards the capture buffer: the test polls it while the server
+// goroutine is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 func TestAmiserverCollectsAndExits(t *testing.T) {
-	var out bytes.Buffer
+	var out syncBuffer
 	done := make(chan int, 1)
 	go func() {
 		done <- run([]string{"-addr", "127.0.0.1:0", "-duration", "500ms", "-stats", "100ms"}, &out)

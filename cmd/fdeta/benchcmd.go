@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arima"
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// BenchResult is one benchmark's record in a BENCH_<date>.json report.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	// Metrics carries headline numbers reported via b.ReportMetric (e.g.
+	// detection rates), so a perf regression that also changes results is
+	// visible in the same file.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the machine-readable benchmark-trajectory record. One file
+// is written per `fdeta bench` run; committing them under results/bench
+// gives the repo a perf history that future PRs extend.
+type BenchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Protocol   string        `json:"protocol"` // "quick" or "full"
+	Label      string        `json:"label,omitempty"`
+	Results    []BenchResult `json:"results"`
+}
+
+// cmdBench runs the component and table benchmarks in-process (via
+// testing.Benchmark) and writes a BENCH_<date>.json trajectory record.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	full := fs.Bool("full", false, "benchmark the paper's full protocol (500 consumers, 50 trials)")
+	label := fs.String("label", "", "free-form label recorded in the report (e.g. a commit id)")
+	dir := fs.String("dir", "results/bench", "directory for the default output path")
+	out := fs.String("o", "", "explicit output path (default <dir>/BENCH_<date>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.QuickOptions()
+	protocol := "quick"
+	if *full {
+		opts = experiments.PaperOptions()
+		protocol = "full"
+	}
+
+	// One consumer's series for the component benchmarks — the same fixture
+	// bench_test.go uses.
+	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: 30, Seed: 5})
+	if err != nil {
+		return err
+	}
+	train, test, err := ds.Consumers[0].Demand.Split(28)
+	if err != nil {
+		return err
+	}
+	week := test.MustWeek(0)
+	tierFn := func(slot int) int { return int(opts.Scheme.TierOf(timeseries.Slot(slot))) }
+	suiteCfg := detect.SuiteConfig{
+		KLD:      detect.KLDConfig{Significance: 0.05},
+		PriceKLD: detect.PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
+	}
+
+	type bench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	benches := []bench{
+		{"TableII", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev, err := experiments.RunEvaluation(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cell, err := ev.Cell(experiments.DetKLD5, experiments.Scen1B)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*cell.DetectionRate(), "kld5-1B-%")
+			}
+		}},
+		{"TableIII", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev, err := experiments.RunEvaluation(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, kv, err := experiments.Headline(ev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(kv, "kld-reduction-%")
+			}
+		}},
+		{"SelectOrder", func(b *testing.B) {
+			candidates := arima.DefaultCandidates()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := arima.SelectOrder(train, candidates); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ARIMADetectorTrain", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := detect.NewARIMADetector(train, detect.ARIMAConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"TrainedSuite", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := detect.NewTrainedSuite(train, suiteCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"KLDTrain", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := detect.NewKLDDetector(train, detect.KLDConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"KLDDetect", func(b *testing.B) {
+			det, err := detect.NewKLDDetector(train, detect.KLDConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(week); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PriceKLDDetect", func(b *testing.B) {
+			det, err := detect.NewPriceKLDDetector(train, detect.PriceKLDConfig{NTiers: 2, Tier: tierFn})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(week); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ARIMADetect", func(b *testing.B) {
+			det, err := detect.NewARIMADetector(train, detect.ARIMAConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(week); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"IntegratedARIMAAttack", func(b *testing.B) {
+			det, err := detect.NewIntegratedARIMADetector(train, detect.IntegratedARIMAConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := stats.NewRand(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := attack.IntegratedARIMAAttack(det, attack.Up, attack.IntegratedARIMAConfig{}, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := BenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Protocol:   protocol,
+		Label:      *label,
+	}
+	for _, bm := range benches {
+		fmt.Printf("benchmarking %-22s ", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%12.0f ns/op  %8d allocs/op  %10d B/op\n",
+			res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	path := *out
+	if path == "" {
+		path = filepath.Join(*dir, "BENCH_"+report.Date+".json")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s protocol, %s)\n", path, protocol, report.GoVersion)
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -14,10 +16,13 @@ import (
 
 // evalFlags holds the flags shared by the evaluation-driven subcommands.
 type evalFlags struct {
-	full      bool
-	consumers int
-	trials    int
-	seed      int64
+	full        bool
+	consumers   int
+	trials      int
+	seed        int64
+	parallelism int
+	cpuprofile  string
+	memprofile  string
 }
 
 func bindEvalFlags(fs *flag.FlagSet) *evalFlags {
@@ -26,6 +31,9 @@ func bindEvalFlags(fs *flag.FlagSet) *evalFlags {
 	fs.IntVar(&ef.consumers, "consumers", 0, "cap the number of consumers evaluated (0 = all)")
 	fs.IntVar(&ef.trials, "trials", 0, "override the attack trial count")
 	fs.Int64Var(&ef.seed, "seed", 2016, "experiment seed")
+	fs.IntVar(&ef.parallelism, "parallelism", 0, "worker goroutines for per-consumer evaluation (0 = GOMAXPROCS); results are identical at any setting")
+	fs.StringVar(&ef.cpuprofile, "cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with `go tool pprof`)")
+	fs.StringVar(&ef.memprofile, "memprofile", "", "write a post-evaluation heap profile to this file (inspect with `go tool pprof`)")
 	return ef
 }
 
@@ -41,7 +49,51 @@ func (ef *evalFlags) options() experiments.Options {
 		opts.Trials = ef.trials
 	}
 	opts.Seed = ef.seed
+	opts.Parallelism = ef.parallelism
 	return opts
+}
+
+// run executes the evaluation body with optional CPU/heap profiling wrapped
+// around it, per the -cpuprofile/-memprofile flags.
+func (ef *evalFlags) run(body func() error) error {
+	if ef.cpuprofile != "" {
+		f, err := os.Create(ef.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := body(); err != nil {
+		return err
+	}
+	if ef.memprofile != "" {
+		f, err := os.Create(ef.memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		runtime.GC() // flush dead objects so the profile shows live memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// evalRun runs the compute step of an evaluation command under ef.run, so
+// profiles cover the evaluation itself rather than result formatting.
+func evalRun[T any](ef *evalFlags, f func() (T, error)) (T, error) {
+	var out T
+	err := ef.run(func() error {
+		var err error
+		out, err = f()
+		return err
+	})
+	return out, err
 }
 
 func cmdGenerate(args []string) error {
@@ -120,7 +172,9 @@ func cmdTables(cmd string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ev, err := experiments.RunEvaluation(ef.options())
+	ev, err := evalRun(ef, func() (*experiments.Evaluation, error) {
+		return experiments.RunEvaluation(ef.options())
+	})
 	if err != nil {
 		return err
 	}
@@ -240,7 +294,9 @@ func cmdFig3(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := experiments.GenerateFig3(ef.options(), *consumer)
+	data, err := evalRun(ef, func() (*experiments.Fig3Data, error) {
+		return experiments.GenerateFig3(ef.options(), *consumer)
+	})
 	if err != nil {
 		return err
 	}
@@ -265,7 +321,9 @@ func cmdFig4(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := experiments.GenerateFig4(ef.options(), *consumer, *bins)
+	data, err := evalRun(ef, func() (*experiments.Fig4Data, error) {
+		return experiments.GenerateFig4(ef.options(), *consumer, *bins)
+	})
 	if err != nil {
 		return err
 	}
@@ -290,7 +348,9 @@ func cmdAblateBins(args []string) error {
 		return err
 	}
 	bins := []int{4, 6, 8, 10, 15, 20, 30, 40}
-	points, err := experiments.BinSweep(ef.options(), bins)
+	points, err := evalRun(ef, func() ([]experiments.BinSweepPoint, error) {
+		return experiments.BinSweep(ef.options(), bins)
+	})
 	if err != nil {
 		return err
 	}
@@ -316,7 +376,9 @@ func cmdAblateTrain(args []string) error {
 			weeks = append(weeks, w)
 		}
 	}
-	points, err := experiments.TrainLengthSweep(opts, weeks)
+	points, err := evalRun(ef, func() ([]experiments.TrainLengthPoint, error) {
+		return experiments.TrainLengthSweep(opts, weeks)
+	})
 	if err != nil {
 		return err
 	}

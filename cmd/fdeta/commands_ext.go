@@ -17,7 +17,9 @@ func cmdTimeToDetect(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sum, err := experiments.TimeToDetection(ef.options())
+	sum, err := evalRun(ef, func() (*experiments.TTDSummary, error) {
+		return experiments.TimeToDetection(ef.options())
+	})
 	if err != nil {
 		return err
 	}
@@ -36,7 +38,9 @@ func cmdAblateDivergence(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	points, err := experiments.DivergenceSweep(ef.options())
+	points, err := evalRun(ef, func() ([]experiments.DivergencePoint, error) {
+		return experiments.DivergenceSweep(ef.options())
+	})
 	if err != nil {
 		return err
 	}
@@ -55,7 +59,9 @@ func cmdBaselines(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	points, err := experiments.BaselineComparison(ef.options())
+	points, err := evalRun(ef, func() ([]experiments.BaselinePoint, error) {
+		return experiments.BaselineComparison(ef.options())
+	})
 	if err != nil {
 		return err
 	}
@@ -77,7 +83,9 @@ func cmdSpread(args []string) error {
 	}
 	opts := ef.options()
 	counts := []int{1, 2, 4, 8}
-	points, err := experiments.SpreadSweep(opts, *total, counts)
+	points, err := evalRun(ef, func() ([]experiments.SpreadPoint, error) {
+		return experiments.SpreadSweep(opts, *total, counts)
+	})
 	if err != nil {
 		return err
 	}
@@ -96,7 +104,9 @@ func cmdAblateBinStrategy(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	points, err := experiments.BinStrategySweep(ef.options())
+	points, err := evalRun(ef, func() ([]experiments.BinStrategyPoint, error) {
+		return experiments.BinStrategySweep(ef.options())
+	})
 	if err != nil {
 		return err
 	}
@@ -115,7 +125,9 @@ func cmdFPProfile(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	points, err := experiments.FalsePositiveProfile(ef.options())
+	points, err := evalRun(ef, func() ([]experiments.FPPoint, error) {
+		return experiments.FalsePositiveProfile(ef.options())
+	})
 	if err != nil {
 		return err
 	}

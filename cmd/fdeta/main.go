@@ -23,6 +23,7 @@
 //	ttd           streaming time-to-detection
 //	spread        multi-victim theft spreading
 //	bill          statements + revenue assurance
+//	bench         benchmark trajectory recorder (BENCH_<date>.json)
 //
 // Run `fdeta <subcommand> -h` for per-command flags.
 package main
@@ -86,6 +87,8 @@ func run(args []string) int {
 		err = cmdInvestigate(rest)
 	case "simulate":
 		err = cmdSimulate(rest)
+	case "bench":
+		err = cmdBench(rest)
 	case "help", "-h", "--help":
 		usage()
 		return 0
@@ -135,5 +138,9 @@ Extensions:
   fp-profile         false-positive calibration over all normal test weeks
   report             regenerate the complete evaluation into a markdown report
   bill               weekly statements + revenue assurance
+  bench              run table + component benchmarks, write BENCH_<date>.json
+
+Evaluation commands accept -parallelism (worker goroutines; results are
+identical at any setting) and -cpuprofile/-memprofile (pprof output files).
 `)
 }

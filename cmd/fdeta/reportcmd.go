@@ -30,7 +30,7 @@ func cmdReport(args []string) error {
 	defer func() { _ = f.Close() }()
 
 	start := time.Now()
-	if err := writeReport(f, opts); err != nil {
+	if err := ef.run(func() error { return writeReport(f, opts) }); err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -3,6 +3,8 @@ package arima
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Order specifies an ARIMA(p,d,q) model.
@@ -96,6 +98,37 @@ func arResiduals(w []float64, phi []float64) []float64 {
 	return resid
 }
 
+// diffShared is the per-D state SelectOrder computes once and shares across
+// every candidate with the same differencing order: the differenced series,
+// its mean, the demeaned series, and whether it is constant (degenerate).
+type diffShared struct {
+	n       int       // observations after differencing
+	mu      float64   // mean of the differenced series
+	z       []float64 // demeaned differenced series (read-only once built)
+	allZero bool
+}
+
+// newDiffShared differences and demeans y once for a given D.
+func newDiffShared(y []float64, d int) (*diffShared, error) {
+	w, err := Difference(y, d)
+	if err != nil {
+		return nil, err
+	}
+	var mu float64
+	for _, v := range w {
+		mu += v
+	}
+	mu /= float64(len(w))
+	sh := &diffShared{n: len(w), mu: mu, z: w, allZero: true}
+	for i, v := range w {
+		w[i] = v - mu
+		if w[i] != 0 {
+			sh.allZero = false
+		}
+	}
+	return sh, nil
+}
+
 // Fit estimates an ARIMA model of the given order from y using the
 // Hannan-Rissanen procedure: difference, demean, fit a long AR to estimate
 // innovations, then regress on lagged values and lagged innovations.
@@ -103,31 +136,23 @@ func Fit(y []float64, order Order) (*Model, error) {
 	if err := order.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := Difference(y, order.D)
+	sh, err := newDiffShared(y, order.D)
 	if err != nil {
 		return nil, err
 	}
-	minN := 3*(order.P+order.Q) + 20
-	if len(w) < minN {
-		return nil, fmt.Errorf("arima: %d observations after differencing; need at least %d for %v",
-			len(w), minN, order)
-	}
+	return fitCandidate(sh, order)
+}
 
-	// Demean the differenced series.
-	var mu float64
-	for _, v := range w {
-		mu += v
+// fitCandidate fits one order against the shared differenced series. The
+// shared state is read-only, so SelectOrder can call it concurrently.
+func fitCandidate(sh *diffShared, order Order) (*Model, error) {
+	minN := 3*(order.P+order.Q) + 20
+	if sh.n < minN {
+		return nil, fmt.Errorf("arima: %d observations after differencing; need at least %d for %v",
+			sh.n, minN, order)
 	}
-	mu /= float64(len(w))
-	z := make([]float64, len(w))
-	allZero := true
-	for i, v := range w {
-		z[i] = v - mu
-		if z[i] != 0 {
-			allZero = false
-		}
-	}
-	if allZero {
+	mu, z := sh.mu, sh.z
+	if sh.allZero {
 		// Constant series: the model is deterministic with zero innovation
 		// variance. This arises for all-zero attack vectors and must not
 		// crash the detector.
@@ -137,11 +162,12 @@ func Fit(y []float64, order Order) (*Model, error) {
 			Theta:  make([]float64, order.Q),
 			Mu:     mu,
 			Sigma2: 0,
-			N:      len(w),
+			N:      sh.n,
 		}, nil
 	}
 
 	var phi, theta []float64
+	var err error
 	switch {
 	case order.Q == 0:
 		phi, err = yuleWalker(z, order.P)
@@ -173,11 +199,15 @@ func Fit(y []float64, order Order) (*Model, error) {
 		if rows < order.P+order.Q+5 {
 			return nil, fmt.Errorf("arima: insufficient data for Hannan-Rissanen stage 2 (%d usable rows)", rows)
 		}
+		// One backing array for the whole design matrix: per-row allocations
+		// dominated the fit's allocation profile (thousands of rows).
+		k := order.P + order.Q
 		design := make([][]float64, rows)
+		backing := make([]float64, rows*k)
 		target := make([]float64, rows)
 		for r := 0; r < rows; r++ {
 			t := start + r
-			row := make([]float64, order.P+order.Q)
+			row := backing[r*k : (r+1)*k : (r+1)*k]
 			for i := 0; i < order.P; i++ {
 				row[i] = z[t-1-i]
 			}
@@ -200,7 +230,7 @@ func Fit(y []float64, order Order) (*Model, error) {
 		Phi:   clampStationary(phi),
 		Theta: clampInvertible(theta),
 		Mu:    mu,
-		N:     len(w),
+		N:     sh.n,
 	}
 
 	// Innovation variance from conditional residuals.
@@ -226,6 +256,13 @@ func Fit(y []float64, order Order) (*Model, error) {
 // innovations are taken as zero.
 func (m *Model) residualsZ(z []float64) []float64 {
 	resid := make([]float64, len(z))
+	m.residualsZInto(resid, z)
+	return resid
+}
+
+// residualsZInto is residualsZ writing into a caller-provided buffer, which
+// must have len(z); hot paths reuse the buffer across calls.
+func (m *Model) residualsZInto(resid, z []float64) {
 	for t := 0; t < len(z); t++ {
 		pred := 0.0
 		for i, c := range m.Phi {
@@ -240,7 +277,6 @@ func (m *Model) residualsZ(z []float64) []float64 {
 		}
 		resid[t] = z[t] - pred
 	}
-	return resid
 }
 
 // clampStationary shrinks AR coefficients toward zero until the companion
@@ -281,14 +317,85 @@ func (m *Model) AIC() float64 {
 // SelectOrder fits every order in the candidate grid and returns the model
 // minimizing AIC. Orders that fail to fit are skipped; an error is returned
 // only when every candidate fails.
+//
+// Candidates are fitted concurrently on a bounded worker pool, with the
+// differencing and demeaning shared across every candidate with the same D.
+// The result is identical to fitting serially: each candidate's fit is
+// deterministic, and the best model is chosen by scanning candidates in
+// index order (ties and degenerate fits resolve exactly as the serial loop
+// did, never by goroutine completion order).
 func SelectOrder(y []float64, candidates []Order) (*Model, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("arima: no candidate orders")
 	}
+
+	// Shared differencing: compute each distinct D once, serially. Invalid
+	// orders are skipped here; their validation error is reported per
+	// candidate below.
+	type sharedEntry struct {
+		sh  *diffShared
+		err error
+	}
+	shared := make(map[int]sharedEntry, 3)
+	for _, o := range candidates {
+		if o.Validate() != nil {
+			continue
+		}
+		if _, ok := shared[o.D]; !ok {
+			sh, err := newDiffShared(y, o.D)
+			shared[o.D] = sharedEntry{sh: sh, err: err}
+		}
+	}
+
+	models := make([]*Model, len(candidates))
+	errs := make([]error, len(candidates))
+	fitOne := func(i int) {
+		o := candidates[i]
+		if err := o.Validate(); err != nil {
+			errs[i] = err
+			return
+		}
+		entry := shared[o.D]
+		if entry.err != nil {
+			errs[i] = entry.err
+			return
+		}
+		models[i], errs[i] = fitCandidate(entry.sh, o)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		for i := range candidates {
+			fitOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					fitOne(i)
+				}
+			}()
+		}
+		for i := range candidates {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic reduction in candidate-index order — byte-identical to
+	// the historical serial scan.
 	var best *Model
 	var firstErr error
-	for _, o := range candidates {
-		m, err := Fit(y, o)
+	for i := range candidates {
+		m, err := models[i], errs[i]
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -136,6 +136,9 @@ type Predictor struct {
 	zLags []float64
 	// eLags holds the last Q innovations, newest first.
 	eLags []float64
+	// diffC caches the coefficients of (1-B)^D; shared between clones
+	// (read-only after construction).
+	diffC []float64
 
 	lastPred float64 // z-scale prediction for the next step
 	havePred bool
@@ -165,6 +168,7 @@ func (m *Model) NewPredictor(history []float64) (*Predictor, error) {
 		yTail: make([]float64, m.Order.D),
 		zLags: make([]float64, m.Order.P),
 		eLags: make([]float64, m.Order.Q),
+		diffC: diffPoly(m.Order.D),
 		sigma: math.Sqrt(m.Sigma2),
 	}
 	copy(p.yTail, history[len(history)-m.Order.D:])
@@ -175,6 +179,19 @@ func (m *Model) NewPredictor(history []float64) (*Predictor, error) {
 		p.eLags[j] = resid[len(resid)-1-j]
 	}
 	return p, nil
+}
+
+// Clone returns an independent predictor with identical rolling state. The
+// copy is O(P+Q+D) — far cheaper than re-warming a predictor over the full
+// history — and advances separately from the original, so detectors warm one
+// predictor on the training series at construction and clone it per
+// detection pass (and attackers clone it per trial).
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.yTail = append([]float64(nil), p.yTail...)
+	q.zLags = append([]float64(nil), p.zLags...)
+	q.eLags = append([]float64(nil), p.eLags...)
+	return &q
 }
 
 // PredictNext returns the one-step-ahead point forecast and its standard
@@ -202,7 +219,7 @@ func (p *Predictor) integrateOne(w float64) float64 {
 		return w
 	}
 	// y_t = w_t - Σ_{k=1..d} c_k y_{t-k}, with c = coefficients of (1-B)^d.
-	c := diffPoly(d)
+	c := p.diffC
 	y := w
 	for k := 1; k <= d; k++ {
 		y -= c[k] * p.yTail[len(p.yTail)-k]
@@ -217,7 +234,7 @@ func (p *Predictor) Observe(y float64) {
 	// Differenced value of the new observation.
 	w := y
 	if d > 0 {
-		c := diffPoly(d)
+		c := p.diffC
 		for k := 1; k <= d; k++ {
 			w += c[k] * p.yTail[len(p.yTail)-k]
 		}

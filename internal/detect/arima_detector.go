@@ -47,19 +47,18 @@ type ARIMADetector struct {
 	cfg       ARIMAConfig
 	model     *arima.Model
 	train     timeseries.Series
-	threshold float64 // tolerated fraction of out-of-interval readings
-	peak      float64 // largest training reading, a proxy for service size
+	warm      *arima.Predictor // predictor state after consuming the full training series
+	z         float64          // confidence-interval quantile for cfg.Level
+	threshold float64          // tolerated fraction of out-of-interval readings
+	peak      float64          // largest training reading, a proxy for service size
 }
 
 // NewARIMADetector fits the model on the training series and calibrates the
 // violation threshold by replaying the trailing training weeks.
 func NewARIMADetector(train timeseries.Series, cfg ARIMAConfig) (*ARIMADetector, error) {
 	cfg = cfg.withDefaults()
-	if train.Weeks() < 2 {
-		return nil, fmt.Errorf("detect: ARIMA detector needs >= 2 training weeks, got %d", train.Weeks())
-	}
-	if err := train.Validate(); err != nil {
-		return nil, fmt.Errorf("detect: training series: %w", err)
+	if err := validateARIMATrain(train); err != nil {
+		return nil, err
 	}
 	var model *arima.Model
 	var err error
@@ -71,7 +70,43 @@ func NewARIMADetector(train timeseries.Series, cfg ARIMAConfig) (*ARIMADetector,
 	if err != nil {
 		return nil, fmt.Errorf("detect: fitting ARIMA: %w", err)
 	}
-	d := &ARIMADetector{cfg: cfg, model: model, train: train.Clone()}
+	return newARIMADetectorFitted(train, cfg, model)
+}
+
+// NewARIMADetectorWithModel builds the detector around a model that was
+// already fitted on the same training series, skipping order selection.
+// TrainedSuite uses it to train the ARIMA and Integrated ARIMA detectors
+// (and the attacker's replicas) from a single grid fit.
+func NewARIMADetectorWithModel(train timeseries.Series, cfg ARIMAConfig, model *arima.Model) (*ARIMADetector, error) {
+	cfg = cfg.withDefaults()
+	if err := validateARIMATrain(train); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("detect: nil ARIMA model")
+	}
+	return newARIMADetectorFitted(train, cfg, model)
+}
+
+func validateARIMATrain(train timeseries.Series) error {
+	if train.Weeks() < 2 {
+		return fmt.Errorf("detect: ARIMA detector needs >= 2 training weeks, got %d", train.Weeks())
+	}
+	if err := train.Validate(); err != nil {
+		return fmt.Errorf("detect: training series: %w", err)
+	}
+	return nil
+}
+
+// newARIMADetectorFitted calibrates the violation threshold and warms the
+// shared predictor for a fitted model.
+func newARIMADetectorFitted(train timeseries.Series, cfg ARIMAConfig, model *arima.Model) (*ARIMADetector, error) {
+	d := &ARIMADetector{
+		cfg:   cfg,
+		model: model,
+		train: train.Clone(),
+		z:     stats.StdNormalQuantile(0.5 + cfg.Level/2),
+	}
 	for _, v := range train {
 		if v > d.peak {
 			d.peak = v
@@ -110,6 +145,15 @@ func NewARIMADetector(train timeseries.Series, cfg ARIMAConfig) (*ARIMADetector,
 		}
 	}
 	d.threshold = worst + cfg.ViolationMargin
+
+	// Warm one predictor over the full training series; Tracker() clones its
+	// O(P+Q+D) state instead of replaying the history on every detection
+	// pass or attack trial.
+	warm, err := d.model.NewPredictor(d.train)
+	if err != nil {
+		return nil, fmt.Errorf("detect: warming predictor: %w", err)
+	}
+	d.warm = warm
 	return d, nil
 }
 
@@ -160,9 +204,10 @@ func (d *ARIMADetector) Detect(week timeseries.Series) (Verdict, error) {
 }
 
 // Tracker returns a confidence-interval tracker warmed on the full training
-// series, positioned to judge the first reading after training.
+// series, positioned to judge the first reading after training. The tracker
+// is a cheap clone of the detector's pre-warmed predictor state.
 func (d *ARIMADetector) Tracker() (*CITracker, error) {
-	return d.trackerFrom(d.train)
+	return &CITracker{pred: d.warm.Clone(), z: d.z}, nil
 }
 
 func (d *ARIMADetector) trackerFrom(history timeseries.Series) (*CITracker, error) {
@@ -170,10 +215,7 @@ func (d *ARIMADetector) trackerFrom(history timeseries.Series) (*CITracker, erro
 	if err != nil {
 		return nil, fmt.Errorf("detect: warming predictor: %w", err)
 	}
-	return &CITracker{
-		pred: pred,
-		z:    stats.StdNormalQuantile(0.5 + d.cfg.Level/2),
-	}, nil
+	return &CITracker{pred: pred, z: d.z}, nil
 }
 
 // CITracker exposes the rolling one-step confidence interval. The utility's
@@ -247,6 +289,22 @@ func NewIntegratedARIMADetector(train timeseries.Series, cfg IntegratedARIMAConf
 	matrix, err := timeseries.NewWeekMatrix(train, 0)
 	if err != nil {
 		return nil, fmt.Errorf("detect: integrated ARIMA training: %w", err)
+	}
+	return NewIntegratedARIMADetectorWithInner(inner, matrix, cfg)
+}
+
+// NewIntegratedARIMADetectorWithInner builds the integrated detector around
+// an already-trained inner ARIMA detector and training week matrix, so a
+// suite that trains both detector rows (plus the attacker's replicas) fits
+// the ARIMA grid and replays the calibration weeks exactly once. cfg.ARIMA
+// is ignored — the inner detector carries its own configuration.
+func NewIntegratedARIMADetectorWithInner(inner *ARIMADetector, matrix *timeseries.WeekMatrix, cfg IntegratedARIMAConfig) (*IntegratedARIMADetector, error) {
+	cfg = cfg.withDefaults()
+	if inner == nil {
+		return nil, fmt.Errorf("detect: nil inner ARIMA detector")
+	}
+	if matrix == nil || matrix.Rows() < 1 {
+		return nil, fmt.Errorf("detect: integrated ARIMA training: empty week matrix")
 	}
 	means := matrix.RowMeans()
 	vars := matrix.RowVariances()

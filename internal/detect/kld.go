@@ -3,6 +3,7 @@ package detect
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -117,12 +118,18 @@ type KLDDetector struct {
 	xProbs    []float64 // the X distribution
 	trainK    []float64 // K_i per training week
 	threshold float64
+	scratch   *sync.Pool // *kldScratch, shared across derived detectors
+}
+
+// kldScratch holds reusable buffers for the KL scoring hot path.
+type kldScratch struct {
+	probs []float64
+	kl    stats.KLScratch
 }
 
 // NewKLDDetector trains the detector on the consumer's historic readings.
 func NewKLDDetector(train timeseries.Series, cfg KLDConfig) (*KLDDetector, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.withDefaults().Validate(); err != nil {
 		return nil, err
 	}
 	if train.Weeks() < 2 {
@@ -135,7 +142,22 @@ func NewKLDDetector(train timeseries.Series, cfg KLDConfig) (*KLDDetector, error
 	if err != nil {
 		return nil, fmt.Errorf("detect: KLD training: %w", err)
 	}
+	return NewKLDDetectorFromMatrix(matrix, cfg)
+}
+
+// NewKLDDetectorFromMatrix trains the detector from an already-built
+// training week matrix, letting a suite share one matrix across every
+// detector row instead of re-slicing the series per construction.
+func NewKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg KLDConfig) (*KLDDetector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if matrix == nil || matrix.Rows() < 2 {
+		return nil, fmt.Errorf("detect: KLD detector needs >= 2 training weeks")
+	}
 	var hist *stats.Histogram
+	var err error
 	switch cfg.Binning {
 	case EqualFrequency:
 		hist, err = stats.NewHistogramFromDataQuantile(matrix.Flat(), cfg.Bins)
@@ -146,10 +168,11 @@ func NewKLDDetector(train timeseries.Series, cfg KLDConfig) (*KLDDetector, error
 		return nil, fmt.Errorf("detect: KLD histogram: %w", err)
 	}
 	d := &KLDDetector{
-		cfg:    cfg,
-		hist:   hist,
-		xProbs: hist.Probabilities(),
-		trainK: make([]float64, matrix.Rows()),
+		cfg:     cfg,
+		hist:    hist,
+		xProbs:  hist.Probabilities(),
+		trainK:  make([]float64, matrix.Rows()),
+		scratch: &sync.Pool{New: func() any { return &kldScratch{} }},
 	}
 	for i := 0; i < matrix.Rows(); i++ {
 		ki, err := d.Divergence(matrix.Row(i))
@@ -165,6 +188,31 @@ func NewKLDDetector(train timeseries.Series, cfg KLDConfig) (*KLDDetector, error
 	return d, nil
 }
 
+// WithSignificance derives a detector that shares this one's histogram, X
+// distribution, and training divergences but thresholds at a different
+// significance level α. Only the percentile is recomputed, so deriving the
+// second (and further) significance rows of Table II costs O(weeks log weeks)
+// instead of a full retrain.
+func (d *KLDDetector) WithSignificance(alpha float64) (*KLDDetector, error) {
+	cfg := d.cfg
+	cfg.Significance = alpha
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := &KLDDetector{
+		cfg:     cfg,
+		hist:    d.hist,
+		xProbs:  d.xProbs,
+		trainK:  d.trainK, // stats.Percentile copies before sorting
+		scratch: d.scratch,
+	}
+	out.threshold = stats.Percentile(out.trainK, 100*(1-alpha))
+	if math.IsNaN(out.threshold) {
+		return nil, fmt.Errorf("detect: KLD threshold undefined")
+	}
+	return out, nil
+}
+
 // Name implements Detector.
 func (d *KLDDetector) Name() string {
 	if d.cfg.Divergence != KullbackLeibler {
@@ -174,16 +222,26 @@ func (d *KLDDetector) Name() string {
 }
 
 // Divergence computes K = D(week ‖ X) in bits using the frozen bin edges
-// (Eq. 12), or the configured alternative measure.
+// (Eq. 12), or the configured alternative measure. The KL path (the paper's
+// default, and the one every Table II/III cell exercises) runs through a
+// pooled scratch buffer and allocates nothing.
 func (d *KLDDetector) Divergence(week timeseries.Series) (float64, error) {
-	probs := d.hist.Distribution(week)
 	switch d.cfg.Divergence {
 	case SymmetricKL:
+		probs := d.hist.Distribution(week)
 		return stats.SymmetricKLDivergence(probs, d.xProbs, d.cfg.KL)
 	case JensenShannon:
+		probs := d.hist.Distribution(week)
 		return stats.JensenShannonDivergence(probs, d.xProbs, d.cfg.KL)
 	default:
-		return stats.KLDivergence(probs, d.xProbs, d.cfg.KL)
+		sc := d.scratch.Get().(*kldScratch)
+		if cap(sc.probs) < d.hist.Bins() {
+			sc.probs = make([]float64, d.hist.Bins())
+		}
+		probs := d.hist.DistributionInto(sc.probs[:d.hist.Bins()], week)
+		k, err := stats.KLDivergenceWith(probs, d.xProbs, d.cfg.KL, &sc.kl)
+		d.scratch.Put(sc)
+		return k, err
 	}
 }
 

@@ -3,6 +3,7 @@ package detect
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -69,16 +70,24 @@ func (c PriceKLDConfig) Validate() error {
 type PriceKLDDetector struct {
 	cfg       PriceKLDConfig
 	slotTier  []int              // tier per weekly slot
+	tierSlots [][]int            // slot indices per tier, increasing order
 	hists     []*stats.Histogram // frozen per-tier histograms of X
 	tierProbs [][]float64        // per-tier X distributions
 	trainK    []float64
 	threshold float64
+	scratch   *sync.Pool // *priceKLDScratch, shared across derived detectors
+}
+
+// priceKLDScratch holds reusable buffers for the per-tier scoring hot path.
+type priceKLDScratch struct {
+	vals  []float64
+	probs []float64
+	kl    stats.KLScratch
 }
 
 // NewPriceKLDDetector trains the detector.
 func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLDDetector, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.withDefaults().Validate(); err != nil {
 		return nil, err
 	}
 	if train.Weeks() < 2 {
@@ -86,6 +95,23 @@ func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLD
 	}
 	if err := train.Validate(); err != nil {
 		return nil, fmt.Errorf("detect: training series: %w", err)
+	}
+	matrix, err := timeseries.NewWeekMatrix(train, 0)
+	if err != nil {
+		return nil, fmt.Errorf("detect: price-KLD training: %w", err)
+	}
+	return NewPriceKLDDetectorFromMatrix(matrix, cfg)
+}
+
+// NewPriceKLDDetectorFromMatrix trains the detector from an already-built
+// training week matrix, so a suite can share one matrix across detectors.
+func NewPriceKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg PriceKLDConfig) (*PriceKLDDetector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if matrix == nil || matrix.Rows() < 2 {
+		return nil, fmt.Errorf("detect: price-KLD detector needs >= 2 training weeks")
 	}
 
 	slotTier := make([]int, timeseries.SlotsPerWeek)
@@ -96,10 +122,9 @@ func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLD
 		}
 		slotTier[s] = tier
 	}
-
-	matrix, err := timeseries.NewWeekMatrix(train, 0)
-	if err != nil {
-		return nil, fmt.Errorf("detect: price-KLD training: %w", err)
+	tierSlots := make([][]int, cfg.NTiers)
+	for s, tier := range slotTier {
+		tierSlots[tier] = append(tierSlots[tier], s)
 	}
 
 	// Partition all training values by tier and build per-tier histograms.
@@ -114,8 +139,10 @@ func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLD
 	d := &PriceKLDDetector{
 		cfg:       cfg,
 		slotTier:  slotTier,
+		tierSlots: tierSlots,
 		hists:     make([]*stats.Histogram, cfg.NTiers),
 		tierProbs: make([][]float64, cfg.NTiers),
+		scratch:   &sync.Pool{New: func() any { return &priceKLDScratch{} }},
 	}
 	for tier, vals := range tierValues {
 		if len(vals) == 0 {
@@ -144,6 +171,31 @@ func NewPriceKLDDetector(train timeseries.Series, cfg PriceKLDConfig) (*PriceKLD
 	return d, nil
 }
 
+// WithSignificance derives a detector sharing this one's per-tier histograms
+// and training divergences but thresholding at a different significance
+// level; only the percentile is recomputed.
+func (d *PriceKLDDetector) WithSignificance(alpha float64) (*PriceKLDDetector, error) {
+	cfg := d.cfg
+	cfg.Significance = alpha
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := &PriceKLDDetector{
+		cfg:       cfg,
+		slotTier:  d.slotTier,
+		tierSlots: d.tierSlots,
+		hists:     d.hists,
+		tierProbs: d.tierProbs,
+		trainK:    d.trainK, // stats.Percentile copies before sorting
+		scratch:   d.scratch,
+	}
+	out.threshold = stats.Percentile(out.trainK, 100*(1-alpha))
+	if math.IsNaN(out.threshold) {
+		return nil, fmt.Errorf("detect: price-KLD threshold undefined")
+	}
+	return out, nil
+}
+
 // Name implements Detector.
 func (d *PriceKLDDetector) Name() string {
 	return fmt.Sprintf("price-kld-%g%%", 100*d.cfg.Significance)
@@ -159,8 +211,14 @@ func (d *PriceKLDDetector) TrainingDivergences() []float64 {
 	return out
 }
 
-// Divergence computes the summed per-tier divergence of a week.
+// Divergence computes the summed per-tier divergence of a week. The
+// single-week case — every Table II/III scoring call — gathers each tier's
+// values through pooled scratch buffers and allocates nothing; partial or
+// multi-week inputs fall back to the general partition.
 func (d *PriceKLDDetector) Divergence(week timeseries.Series) (float64, error) {
+	if len(week) == timeseries.SlotsPerWeek {
+		return d.divergenceWeek(week)
+	}
 	tierVals := make([][]float64, d.cfg.NTiers)
 	for s, v := range week {
 		tier := d.slotTier[s%timeseries.SlotsPerWeek]
@@ -173,6 +231,38 @@ func (d *PriceKLDDetector) Divergence(week timeseries.Series) (float64, error) {
 		}
 		probs := d.hists[tier].Distribution(vals)
 		kl, err := stats.KLDivergence(probs, d.tierProbs[tier], d.cfg.KL)
+		if err != nil {
+			return math.NaN(), fmt.Errorf("detect: tier %d divergence: %w", tier, err)
+		}
+		total += kl
+	}
+	return total, nil
+}
+
+// divergenceWeek scores exactly one week. Tier slot indices are increasing,
+// so the gathered value sequence matches the append-order partition of the
+// general path and the result is bit-identical.
+func (d *PriceKLDDetector) divergenceWeek(week timeseries.Series) (float64, error) {
+	sc := d.scratch.Get().(*priceKLDScratch)
+	defer d.scratch.Put(sc)
+	if cap(sc.vals) < timeseries.SlotsPerWeek {
+		sc.vals = make([]float64, timeseries.SlotsPerWeek)
+	}
+	var total float64
+	for tier, slots := range d.tierSlots {
+		if len(slots) == 0 {
+			continue
+		}
+		vals := sc.vals[:len(slots)]
+		for i, s := range slots {
+			vals[i] = week[s]
+		}
+		h := d.hists[tier]
+		if cap(sc.probs) < h.Bins() {
+			sc.probs = make([]float64, h.Bins())
+		}
+		probs := h.DistributionInto(sc.probs[:h.Bins()], vals)
+		kl, err := stats.KLDivergenceWith(probs, d.tierProbs[tier], d.cfg.KL, &sc.kl)
 		if err != nil {
 			return math.NaN(), fmt.Errorf("detect: tier %d divergence: %w", tier, err)
 		}

@@ -1,0 +1,185 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pricing"
+	"repro/internal/timeseries"
+)
+
+func testSuite(t *testing.T) (*TrainedSuite, timeseries.Series, timeseries.Series) {
+	t.Helper()
+	train, test := testConsumer(t, 41, 14, 12)
+	scheme := pricing.Nightsaver()
+	tierFn := func(slot int) int { return int(scheme.TierOf(timeseries.Slot(slot))) }
+	suite, err := NewTrainedSuite(train, SuiteConfig{
+		KLD:      KLDConfig{Significance: 0.05},
+		PriceKLD: PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite, train, test.MustWeek(0)
+}
+
+// TestTrainedSuiteMatchesIndependentFits is the fit-once regression test:
+// every detector the suite hands out must be indistinguishable from one
+// trained independently on the same series.
+func TestTrainedSuiteMatchesIndependentFits(t *testing.T) {
+	suite, train, week := testSuite(t)
+
+	// The shared ARIMA model equals an independent grid selection.
+	indep, err := NewARIMADetector(train, ARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(suite.Model(), indep.Model()) {
+		t.Errorf("suite model %+v != independent model %+v", suite.Model(), indep.Model())
+	}
+	if suite.ARIMA().Threshold() != indep.Threshold() {
+		t.Errorf("suite threshold %g != independent %g", suite.ARIMA().Threshold(), indep.Threshold())
+	}
+
+	// The integrated detector's bands equal independent training.
+	indepInt, err := NewIntegratedARIMADetector(train, IntegratedARIMAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := suite.Integrated().MeanBounds()
+	lo2, hi2 := indepInt.MeanBounds()
+	if lo1 != lo2 || hi1 != hi2 || suite.Integrated().VarianceCap() != indepInt.VarianceCap() {
+		t.Errorf("integrated bands differ: [%g,%g] var %g vs [%g,%g] var %g",
+			lo1, hi1, suite.Integrated().VarianceCap(), lo2, hi2, indepInt.VarianceCap())
+	}
+
+	// KLD detectors at both significance levels, including the derived one.
+	for _, alpha := range []float64{0.05, 0.10} {
+		got, err := suite.KLD(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewKLDDetector(train, KLDConfig{Significance: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Threshold() != want.Threshold() {
+			t.Errorf("KLD(%g) threshold %g != independent %g", alpha, got.Threshold(), want.Threshold())
+		}
+		if !reflect.DeepEqual(got.TrainingDivergences(), want.TrainingDivergences()) {
+			t.Errorf("KLD(%g) training divergences differ", alpha)
+		}
+		gv, err := got.Detect(week)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, err := want.Detect(week)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gv != wv {
+			t.Errorf("KLD(%g) verdict %+v != independent %+v", alpha, gv, wv)
+		}
+	}
+
+	// Price-KLD detectors likewise.
+	scheme := pricing.Nightsaver()
+	tierFn := func(slot int) int { return int(scheme.TierOf(timeseries.Slot(slot))) }
+	for _, alpha := range []float64{0.05, 0.10} {
+		got, err := suite.PriceKLD(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewPriceKLDDetector(train, PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Threshold() != want.Threshold() {
+			t.Errorf("PriceKLD(%g) threshold %g != independent %g", alpha, got.Threshold(), want.Threshold())
+		}
+		gv, err := got.Detect(week)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, err := want.Detect(week)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gv != wv {
+			t.Errorf("PriceKLD(%g) verdict %+v != independent %+v", alpha, gv, wv)
+		}
+	}
+}
+
+// TestTrainedSuiteSharing asserts the whole point of the suite: one ARIMA
+// detector instance backs both rows, and derived significance levels share
+// training artifacts instead of refitting.
+func TestTrainedSuiteSharing(t *testing.T) {
+	suite, _, _ := testSuite(t)
+	if suite.Integrated().Inner() != suite.ARIMA() {
+		t.Error("integrated detector does not share the suite's ARIMA detector")
+	}
+	k5, err := suite.KLD(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10, err := suite.KLD(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &k5.trainK[0] != &k10.trainK[0] {
+		t.Error("derived KLD detector does not share training divergences")
+	}
+	if k5.hist != k10.hist {
+		t.Error("derived KLD detector does not share the frozen histogram")
+	}
+	p5, err := suite.PriceKLD(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := suite.PriceKLD(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p5.trainK[0] != &p10.trainK[0] {
+		t.Error("derived price-KLD detector does not share training divergences")
+	}
+}
+
+// TestTrainedSuiteNoPriceTier checks the explicit error path.
+func TestTrainedSuiteNoPriceTier(t *testing.T) {
+	train, _ := testConsumer(t, 41, 14, 12)
+	suite, err := NewTrainedSuite(train, SuiteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suite.PriceKLD(0.05); err == nil {
+		t.Error("PriceKLD without a tier function should error")
+	}
+}
+
+// TestPredictorCloneMatchesRewarm verifies that cloning a warmed predictor
+// is equivalent to re-warming one over the same history — the invariant the
+// Tracker fast path relies on.
+func TestPredictorCloneMatchesRewarm(t *testing.T) {
+	suite, train, week := testSuite(t)
+	d := suite.ARIMA()
+
+	t1, err := d.Tracker() // clone path
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := d.trackerFrom(train) // fresh warm-up path
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, v := range week {
+		lo1, hi1 := t1.Bounds()
+		lo2, hi2 := t2.Bounds()
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("slot %d: clone bounds [%g,%g] != rewarm bounds [%g,%g]", s, lo1, hi1, lo2, hi2)
+		}
+		t1.Observe(v)
+		t2.Observe(v)
+	}
+}

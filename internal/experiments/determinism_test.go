@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunEvaluationParallelismDeterminism asserts the evaluation's core
+// contract: the worker count is a throughput knob, never a results knob.
+// Every cell must be identical at Parallelism 1 and 8.
+func TestRunEvaluationParallelismDeterminism(t *testing.T) {
+	base := QuickOptions()
+	base.MaxConsumers = 6
+	base.Trials = 2
+
+	serial := base
+	serial.Parallelism = 1
+	ev1, err := RunEvaluation(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := base
+	parallel.Parallelism = 8
+	ev8, err := RunEvaluation(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range DetectorIDs() {
+		for _, s := range Scenarios() {
+			c1, err := ev1.Cell(d, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c8, err := ev8.Cell(d, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(c1.Outcomes, c8.Outcomes) {
+				t.Errorf("%s/%s: outcomes differ between Parallelism 1 and 8:\n%+v\nvs\n%+v",
+					d, s, c1.Outcomes, c8.Outcomes)
+			}
+		}
+	}
+}
+
+// TestRunEvaluationPropagatesError checks the fixed worker launch: an
+// invalid protocol surfaces the first consumer error rather than hanging or
+// aggregating partial results.
+func TestRunEvaluationPropagatesError(t *testing.T) {
+	opts := QuickOptions()
+	opts.MaxConsumers = 4
+	opts.TrainWeeks = opts.Dataset.Weeks // leaves no test weeks
+	if _, err := RunEvaluation(opts); err == nil {
+		t.Error("expected an error when the split leaves no test weeks")
+	}
+}

@@ -196,19 +196,53 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 		par = len(consumers)
 	}
 
+	// Workers acquire the semaphore inside their goroutine so the spawn
+	// loop never blocks, and the first consumer error is propagated
+	// immediately: remaining workers see the closed stop channel and exit
+	// before starting their (expensive) evaluation.
 	evals := make([]consumerEval, len(consumers))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var stopOnce sync.Once
 	for i := range consumers {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
+			select {
+			case <-stop:
+				return
+			case sem <- struct{}{}:
+			}
 			defer func() { <-sem }()
-			evals[i] = evaluateConsumer(&consumers[i], opts)
+			ce := evaluateConsumer(&consumers[i], opts)
+			evals[i] = ce
+			if ce.err != nil {
+				stopOnce.Do(func() {
+					errCh <- fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err)
+					close(stop)
+				})
+			}
 		}(i)
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case err := <-errCh:
+		return nil, err
+	case <-done:
+	}
+	// A worker may have errored in the same instant done closed; the error
+	// still wins.
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
 
 	ev := &Evaluation{
 		Options:   opts,
@@ -222,9 +256,6 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 		}
 	}
 	for _, ce := range evals {
-		if ce.err != nil {
-			return nil, fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err)
-		}
 		for d, row := range ce.outcomes {
 			for s, o := range row {
 				cell := ev.cells[d][s]
@@ -261,35 +292,35 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	normalWeek := test.MustWeek(0)
 	attackStart := timeseries.Slot(len(train))
 
-	// Train the detector suite once.
-	arimaDet, err := detect.NewARIMADetector(train, detect.ARIMAConfig{})
-	if err != nil {
-		return fail(fmt.Errorf("arima detector: %w", err))
-	}
-	integDet, err := detect.NewIntegratedARIMADetector(train, detect.IntegratedARIMAConfig{})
-	if err != nil {
-		return fail(fmt.Errorf("integrated detector: %w", err))
-	}
-	kld5, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.05})
-	if err != nil {
-		return fail(fmt.Errorf("kld5: %w", err))
-	}
-	kld10, err := detect.NewKLDDetector(train, detect.KLDConfig{Significance: 0.10})
-	if err != nil {
-		return fail(fmt.Errorf("kld10: %w", err))
-	}
+	// Train the detector suite once: one ARIMA grid fit + calibration and
+	// one week matrix shared by every detector row (and, below, by the
+	// attacker's replicas). The 10%-significance rows derive from the 5%
+	// ones by recomputing only the percentile threshold.
 	tierFn := func(slotOfWeek int) int {
 		return int(opts.Scheme.TierOf(timeseries.Slot(slotOfWeek)))
 	}
-	priceKLD5, err := detect.NewPriceKLDDetector(train, detect.PriceKLDConfig{
-		NTiers: 2, Tier: tierFn, Significance: 0.05,
+	suite, err := detect.NewTrainedSuite(train, detect.SuiteConfig{
+		KLD:      detect.KLDConfig{Significance: 0.05},
+		PriceKLD: detect.PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
 	})
+	if err != nil {
+		return fail(fmt.Errorf("detector suite: %w", err))
+	}
+	arimaDet := suite.ARIMA()
+	integDet := suite.Integrated()
+	kld5, err := suite.KLD(0.05)
+	if err != nil {
+		return fail(fmt.Errorf("kld5: %w", err))
+	}
+	kld10, err := suite.KLD(0.10)
+	if err != nil {
+		return fail(fmt.Errorf("kld10: %w", err))
+	}
+	priceKLD5, err := suite.PriceKLD(0.05)
 	if err != nil {
 		return fail(fmt.Errorf("price kld5: %w", err))
 	}
-	priceKLD10, err := detect.NewPriceKLDDetector(train, detect.PriceKLDConfig{
-		NTiers: 2, Tier: tierFn, Significance: 0.10,
-	})
+	priceKLD10, err := suite.PriceKLD(0.10)
 	if err != nil {
 		return fail(fmt.Errorf("price kld10: %w", err))
 	}

@@ -240,9 +240,34 @@ func (h *Histogram) Probabilities() []float64 {
 // counts. This is the operation used to form each X_i distribution from the
 // frozen X edges.
 func (h *Histogram) Distribution(xs []float64) []float64 {
-	tmp := h.Clone()
-	tmp.AddAll(xs)
-	return tmp.Probabilities()
+	return h.DistributionInto(make([]float64, len(h.counts)), xs)
+}
+
+// DistributionInto is Distribution writing into a caller-provided slice,
+// which must have length Bins(). Counts below 2^53 are exact in float64, so
+// accumulating them directly in dst yields bit-identical probabilities to
+// the integer-count path. NaN observations are ignored, matching Add.
+func (h *Histogram) DistributionInto(dst []float64, xs []float64) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	var total int
+	for _, x := range xs {
+		i := h.BinIndex(x)
+		if i < 0 {
+			continue
+		}
+		dst[i]++
+		total++
+	}
+	if total == 0 {
+		return dst
+	}
+	n := float64(total)
+	for i := range dst {
+		dst[i] /= n
+	}
+	return dst
 }
 
 // String renders a compact textual summary of the histogram.

@@ -42,17 +42,39 @@ func (o KLOptions) logBase() float64 {
 // Terms with p_j == 0 contribute zero (the standard 0·log 0 = 0 convention).
 // With opts.Epsilon == 0, a bin with p_j > 0 and q_j == 0 yields +Inf.
 func KLDivergence(p, q []float64, opts KLOptions) (float64, error) {
+	return KLDivergenceWith(p, q, opts, nil)
+}
+
+// KLScratch holds reusable normalization buffers for KLDivergenceWith, so
+// hot scoring loops avoid two allocations per divergence.
+type KLScratch struct {
+	pn, qn []float64
+}
+
+// KLDivergenceWith is KLDivergence using the scratch buffers in s (which may
+// be nil). The arithmetic is identical to KLDivergence, so results are
+// bit-for-bit the same.
+func KLDivergenceWith(p, q []float64, opts KLOptions, s *KLScratch) (float64, error) {
 	if len(p) != len(q) {
 		return math.NaN(), fmt.Errorf("stats: distribution length mismatch %d vs %d", len(p), len(q))
 	}
 	if len(p) == 0 {
 		return math.NaN(), ErrEmpty
 	}
-	pn, err := normalize(p, opts.Epsilon)
+	var pBuf, qBuf []float64
+	if s != nil {
+		s.pn = grow(s.pn, len(p))
+		s.qn = grow(s.qn, len(q))
+		pBuf, qBuf = s.pn, s.qn
+	} else {
+		pBuf = make([]float64, len(p))
+		qBuf = make([]float64, len(q))
+	}
+	pn, err := normalizeInto(pBuf, p, opts.Epsilon)
 	if err != nil {
 		return math.NaN(), fmt.Errorf("stats: p: %w", err)
 	}
-	qn, err := normalize(q, opts.Epsilon)
+	qn, err := normalizeInto(qBuf, q, opts.Epsilon)
 	if err != nil {
 		return math.NaN(), fmt.Errorf("stats: q: %w", err)
 	}
@@ -137,7 +159,12 @@ func JensenShannonDivergence(p, q []float64, opts KLOptions) (float64, error) {
 // normalize returns xs scaled to sum to one after adding eps to every
 // element. It rejects negative entries and all-zero inputs.
 func normalize(xs []float64, eps float64) ([]float64, error) {
-	out := make([]float64, len(xs))
+	return normalizeInto(make([]float64, len(xs)), xs, eps)
+}
+
+// normalizeInto is normalize writing into out, which must have length
+// len(xs). The arithmetic order matches normalize exactly.
+func normalizeInto(out, xs []float64, eps float64) ([]float64, error) {
 	var sum float64
 	for i, x := range xs {
 		if x < 0 || math.IsNaN(x) {
@@ -153,4 +180,13 @@ func normalize(xs []float64, eps float64) ([]float64, error) {
 		out[i] /= sum
 	}
 	return out, nil
+}
+
+// grow returns buf resized to length n, reallocating only when capacity is
+// insufficient.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
