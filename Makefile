@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick verify
+.PHONY: build test vet race bench bench-quick fuzz verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ bench-quick:
 bench:
 	$(GO) run ./cmd/fdeta bench
 
+# fuzz: a short fuzz pass over the AMI wire codec so envelope-validation
+# regressions are caught pre-merge.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=5s ./internal/ami
+
 # verify: the gate for every PR — build, vet, the race detector across the
-# parallel order selection and evaluation pool, and the quick benchmarks.
-verify: build vet race bench-quick
+# parallel order selection and evaluation pool, the quick benchmarks, and
+# the wire-codec fuzz pass.
+verify: build vet race bench-quick fuzz

@@ -5,10 +5,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/ami"
@@ -62,6 +66,11 @@ func run(args []string, out io.Writer) int {
 	}
 	defer func() { _ = client.Close() }()
 
+	// An interrupt aborts delivery mid-retry-backoff rather than leaving
+	// the process stuck sleeping through an exponential schedule.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	n := *slots
 	if n > m.Slots() {
 		n = m.Slots()
@@ -72,12 +81,21 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(os.Stderr, "amimeter:", err)
 			return 1
 		}
-		if err := client.Send(r); err != nil {
+		if err := client.SendContext(ctx, r); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, s)
+				return 130
+			}
 			fmt.Fprintln(os.Stderr, "amimeter:", err)
 			return 1
 		}
 		if *interval > 0 {
-			time.Sleep(*interval)
+			select {
+			case <-ctx.Done():
+				fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, s+1)
+				return 130
+			case <-time.After(*interval):
+			}
 		}
 	}
 	fmt.Fprintf(out, "amimeter: %s reported %d readings to %s\n", *id, n, *addr)

@@ -21,26 +21,45 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
+// statsLine renders the head-end's ingestion counters for the periodic and
+// final report lines.
+func statsLine(head *ami.HeadEnd) string {
+	st := head.Stats()
+	return fmt.Sprintf("%d meters, %d readings accepted (%d rejected, %d auth-failed) — conns %d active / %d total, %d limit-rejected, %d idle-timeouts, %d forced closes",
+		len(head.Meters()), st.Accepted, st.Rejected, st.AuthFailed,
+		st.ActiveConns, st.TotalConns, st.LimitRejected, st.IdleTimeouts, st.ForcedCloses)
+}
+
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("amiserver", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7425", "listen address")
 	statsEvery := fs.Duration("stats", 5*time.Second, "statistics print interval")
 	duration := fs.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	maxConns := fs.Int("max-conns", ami.DefaultMaxConns, "concurrent meter connection limit")
+	idleTimeout := fs.Duration("idle-timeout", ami.DefaultIdleTimeout, "per-connection idle read deadline")
+	drain := fs.Duration("drain", ami.DefaultDrainTimeout, "shutdown grace before force-closing connections")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	head := ami.NewHeadEnd()
+	// Register the signal handler before the listener comes up, so a
+	// SIGTERM arriving the instant the bound address is printed is caught.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	head := ami.NewHeadEndWith(ami.HeadEndConfig{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drain,
+	})
 	bound, err := head.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amiserver:", err)
 		return 1
 	}
-	fmt.Fprintf(out, "amiserver: head-end listening on %s\n", bound)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(stop)
+	fmt.Fprintf(out, "amiserver: head-end listening on %s (max-conns %d, idle-timeout %s, drain %s)\n",
+		bound, *maxConns, *idleTimeout, *drain)
 
 	var deadline <-chan time.Time
 	if *duration > 0 {
@@ -54,30 +73,21 @@ func run(args []string, out io.Writer) int {
 	for {
 		select {
 		case <-ticker.C:
-			meters := head.Meters()
-			total := 0
-			for _, id := range meters {
-				total += head.Count(id)
-			}
-			fmt.Fprintf(out, "amiserver: %d meters, %d readings collected\n", len(meters), total)
+			fmt.Fprintf(out, "amiserver: %s\n", statsLine(head))
 		case <-stop:
 			fmt.Fprintln(out, "amiserver: shutting down")
 			if err := head.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "amiserver: close:", err)
 				return 1
 			}
+			fmt.Fprintf(out, "amiserver: done — %s\n", statsLine(head))
 			return 0
 		case <-deadline:
-			meters := head.Meters()
-			total := 0
-			for _, id := range meters {
-				total += head.Count(id)
-			}
-			fmt.Fprintf(out, "amiserver: done — %d meters, %d readings collected\n", len(meters), total)
 			if err := head.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "amiserver: close:", err)
 				return 1
 			}
+			fmt.Fprintf(out, "amiserver: done — %s\n", statsLine(head))
 			return 0
 		}
 	}

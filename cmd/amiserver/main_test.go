@@ -5,6 +5,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -76,8 +77,70 @@ func TestAmiserverCollectsAndExits(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not exit on schedule")
 	}
-	if !strings.Contains(out.String(), "1 meters, 5 readings") {
+	if !strings.Contains(out.String(), "1 meters, 5 readings accepted") {
 		t.Errorf("final stats missing: %q", out.String())
+	}
+}
+
+// The acceptance scenario for this PR: with a meter connected and *idle*,
+// SIGTERM must bring the server down within the drain timeout instead of
+// deadlocking in HeadEnd.Close.
+func TestAmiserverSIGTERMWithIdleConnExitsWithinDrain(t *testing.T) {
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "200ms", "-stats", "1h"}, &out)
+	}()
+
+	var addr string
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.After(5 * time.Second)
+	for addr == "" {
+		select {
+		case <-deadline:
+			t.Fatalf("server never reported its address: %q", out.String())
+		default:
+		}
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// A meter connects, reports once, then holds the connection idle — the
+	// exact state that used to hang wg.Wait() forever.
+	c, err := ami.Dial(addr, "m1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Send(meter.Reading{MeterID: "m1", Slot: 0, KW: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// run registered signal.Notify before printing the address, so the
+	// self-delivered SIGTERM is guaranteed to be caught, not fatal.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exited %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not exit after SIGTERM with an idle meter connected: %q", out.String())
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("shutdown took %v, want bounded by the 200ms drain", elapsed)
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("shutdown banner missing: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "forced closes") {
+		t.Errorf("final stats line missing: %q", out.String())
 	}
 }
 

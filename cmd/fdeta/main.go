@@ -23,6 +23,7 @@
 //	ttd           streaming time-to-detection
 //	spread        multi-victim theft spreading
 //	bill          statements + revenue assurance
+//	collect       concurrent TCP collection harness over the AMI head-end
 //	bench         benchmark trajectory recorder (BENCH_<date>.json)
 //
 // Run `fdeta <subcommand> -h` for per-command flags.
@@ -87,6 +88,8 @@ func run(args []string) int {
 		err = cmdInvestigate(rest)
 	case "simulate":
 		err = cmdSimulate(rest)
+	case "collect":
+		err = cmdCollect(rest)
 	case "bench":
 		err = cmdBench(rest)
 	case "help", "-h", "--help":
@@ -117,6 +120,7 @@ Operations:
   detect        run the detection pipeline over a CER-format CSV
   investigate   balance checks, alarms, and localization on a feeder
   simulate      scripted multi-week feeder simulation with scored detection
+  collect       concurrent TCP collection harness over the AMI head-end
 
 Paper artifacts:
   table1        Table I  — attack-class feasibility (verified by construction)

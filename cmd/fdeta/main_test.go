@@ -24,6 +24,9 @@ func TestRunDispatcher(t *testing.T) {
 		{"investigate compromised", []string{"investigate", "-consumers", "10", "-compromise-path"}, 0},
 		{"bill", []string{"bill", "-consumers", "3", "-theft", "0.5"}, 0},
 		{"bill bad theft", []string{"bill", "-theft", "2"}, 1},
+		{"collect", []string{"collect", "-meters", "4", "-slots", "16"}, 0},
+		{"collect bad meters", []string{"collect", "-meters", "0"}, 1},
+		{"collect bad slots", []string{"collect", "-slots", "999"}, 1},
 		{"bad flag", []string{"table1", "-nope"}, 1},
 	}
 	for _, tt := range cases {

@@ -63,8 +63,13 @@ func run() error {
 	}
 	fmt.Printf("enrolled %d consumers\n", consumers)
 
-	// Start the head-end.
-	head := ami.NewHeadEnd()
+	// Start the head-end with explicit lifecycle limits: idle meters are
+	// cut after a minute, and shutdown force-closes stragglers after 2s.
+	head := ami.NewHeadEndWith(ami.HeadEndConfig{
+		MaxConns:     64,
+		IdleTimeout:  time.Minute,
+		DrainTimeout: 2 * time.Second,
+	})
 	headAddr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -130,6 +135,18 @@ func run() error {
 	seen, rewritten := mitm.Stats()
 	fmt.Printf("transmission complete; MITM saw %d readings, rewrote %d\n", seen, rewritten)
 
+	// The ingestion counters must account for exactly the traffic sent: a
+	// week from every meter, nothing rejected, nothing force-closed.
+	st := head.Stats()
+	fmt.Printf("head-end ingestion: %d conns, %d accepted, %d rejected, %d auth-failed, %d forced closes\n",
+		st.TotalConns, st.Accepted, st.Rejected, st.AuthFailed, st.ForcedCloses)
+	if want := int64(consumers * timeseries.SlotsPerWeek); st.Accepted != want {
+		return fmt.Errorf("head-end accepted %d readings, want %d", st.Accepted, want)
+	}
+	if st.Rejected != 0 || st.AuthFailed != 0 || st.LimitRejected != 0 {
+		return fmt.Errorf("unclean ingestion counters: %+v", st)
+	}
+
 	// The control center reassembles each consumer's week and evaluates it.
 	fmt.Println("\ncontrol-center assessments:")
 	flagged := ""
@@ -154,6 +171,19 @@ func run() error {
 	}
 	if flagged != victimID {
 		return fmt.Errorf("expected %s to be flagged as victim, got %q", victimID, flagged)
+	}
+
+	// Every meter disconnected after its batch, so shutdown must drain
+	// cleanly with no force-closes. (Close is idempotent; the deferred
+	// closes become no-ops.)
+	if err := mitm.Close(); err != nil {
+		return err
+	}
+	if err := head.Close(); err != nil {
+		return err
+	}
+	if st := head.Stats(); st.ForcedCloses != 0 {
+		return fmt.Errorf("clean shutdown force-closed %d connections", st.ForcedCloses)
 	}
 	fmt.Printf("\n%s correctly identified as a victimized neighbour: a thief shares their transformer.\n", victimID)
 	return nil

@@ -2,7 +2,6 @@ package ami
 
 import (
 	"bytes"
-	"strings"
 	"testing"
 	"time"
 
@@ -256,7 +255,7 @@ func TestHeadEndRejectsProtocolViolations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Type != TypeError || !strings.Contains(resp.Error, "does not match") {
+	if resp.Type != TypeError || resp.Code != CodeSessionMismatch {
 		t.Errorf("expected session-mismatch error, got %+v", resp)
 	}
 }

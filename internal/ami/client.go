@@ -44,9 +44,22 @@ func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client,
 		timeout: timeout,
 		key:     append([]byte(nil), key...),
 	}
+	// The handshake runs under the same deadline as the dial: a stalled
+	// head-end (full TCP buffers, frozen process) must not block the caller
+	// forever on the hello write.
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ami: setting handshake deadline: %w", err)
+	}
 	if err := c.codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{MeterID: meterID}}); err != nil {
 		_ = conn.Close()
-		return nil, err
+		return nil, fmt.Errorf("ami: sending hello: %w", err)
+	}
+	// Disarm until the next Send re-arms per operation, so a deliberately
+	// idle client connection does not expire on its own clock.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ami: clearing handshake deadline: %w", err)
 	}
 	return c, nil
 }
@@ -81,7 +94,11 @@ func (c *Client) Send(r meter.Reading) error {
 		}
 		return nil
 	case TypeError:
-		return fmt.Errorf("ami: head-end rejected reading: %s", resp.Error)
+		perr := &ProtocolError{Code: resp.Code, Message: resp.Error}
+		if resp.Code == CodeAuth {
+			perr.cause = &AuthError{MeterID: r.MeterID, Slot: int64(r.Slot)}
+		}
+		return perr
 	default:
 		return fmt.Errorf("ami: unexpected response type %q", resp.Type)
 	}

@@ -22,6 +22,8 @@ func FuzzCodecRecv(f *testing.F) {
 	f.Add(`{"type":"reading","reading":{"meter_id":"m1","slot":3,"kw":1.5}}` + "\n")
 	f.Add(`{"type":"ack","ack":{"slot":7}}` + "\n")
 	f.Add(`{"type":"error","error":"boom"}` + "\n")
+	f.Add(`{"type":"error","error":"bad MAC","code":"auth"}` + "\n")
+	f.Add(`{"type":"error","error":"at limit","code":"busy"}` + "\n")
 	f.Add(`{"type":"bogus"}` + "\n")
 	f.Add(`not json`)
 	f.Add(``)
@@ -53,6 +55,9 @@ func FuzzCodecRecv(f *testing.F) {
 			if *back.Reading != *env.Reading {
 				t.Fatalf("round-trip changed reading: %+v vs %+v", back.Reading, env.Reading)
 			}
+		}
+		if env.Type == TypeError && back.Code != env.Code {
+			t.Fatalf("round-trip changed error code: %q vs %q", back.Code, env.Code)
 		}
 	})
 }

@@ -7,28 +7,98 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/timeseries"
 )
 
+// Lifecycle defaults. Zero-valued HeadEndConfig fields fall back to these.
+const (
+	// DefaultMaxConns bounds concurrent meter sessions; the N+1th meter is
+	// turned away with a CodeBusy error at accept time.
+	DefaultMaxConns = 1024
+	// DefaultIdleTimeout is the per-read deadline on a meter session. A
+	// connection that sends nothing for this long is closed — the defence
+	// against slowloris-style connection hoarding.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultDrainTimeout is how long Close waits for in-flight sessions
+	// to finish before force-closing their connections.
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// HeadEndConfig bounds a head-end's resource use. The zero value selects
+// production defaults; tests shrink the timeouts.
+type HeadEndConfig struct {
+	// MaxConns is the concurrent connection limit (0 = DefaultMaxConns).
+	MaxConns int
+	// IdleTimeout is the per-read deadline (0 = DefaultIdleTimeout).
+	IdleTimeout time.Duration
+	// DrainTimeout is the Close grace period (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+}
+
+func (c *HeadEndConfig) applyDefaults() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+}
+
+// HeadEndStats is a snapshot of the head-end's ingestion counters.
+type HeadEndStats struct {
+	ActiveConns   int   // sessions currently being served
+	TotalConns    int64 // sessions accepted since start
+	LimitRejected int64 // connections turned away at the limit
+	Accepted      int64 // readings stored
+	Rejected      int64 // readings refused (protocol / session mismatch)
+	AuthFailed    int64 // readings refused for bad MACs
+	IdleTimeouts  int64 // sessions closed for idling past the deadline
+	ForcedCloses  int64 // connections force-closed at Close's drain deadline
+}
+
 // HeadEnd is the utility-side collection server. It accepts meter
 // connections, stores acknowledged readings, and exposes them to the
-// control-center detection pipeline.
+// control-center detection pipeline. Every active connection is tracked in
+// a registry so Close can force-close stragglers after the drain timeout
+// instead of waiting forever on an idle meter.
 type HeadEnd struct {
+	cfg HeadEndConfig
+
 	mu       sync.Mutex
 	ln       net.Listener
 	readings map[string]map[timeseries.Slot]float64
 	closed   bool
 	keyring  *Keyring
-	authFail int
 
-	wg sync.WaitGroup
+	// conns tracks every live connection (value: true for accepted
+	// sessions, false for busy-rejection handshakes); active counts only
+	// the sessions, which is what the connection limit compares against.
+	conns  map[net.Conn]bool
+	active int
+	stats  HeadEndStats
+
+	done chan struct{} // closed when Close begins; handlers drain on it
+	wg   sync.WaitGroup
 }
 
-// NewHeadEnd creates an idle head-end.
+// NewHeadEnd creates an idle head-end with default lifecycle limits.
 func NewHeadEnd() *HeadEnd {
+	return NewHeadEndWith(HeadEndConfig{})
+}
+
+// NewHeadEndWith creates an idle head-end with explicit lifecycle limits.
+func NewHeadEndWith(cfg HeadEndConfig) *HeadEnd {
+	cfg.applyDefaults()
 	return &HeadEnd{
+		cfg:      cfg,
 		readings: make(map[string]map[timeseries.Slot]float64),
+		conns:    make(map[net.Conn]bool),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -45,21 +115,47 @@ func (h *HeadEnd) SetKeyring(kr *Keyring) {
 func (h *HeadEnd) AuthFailures() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.authFail
+	return int(h.stats.AuthFailed)
+}
+
+// Stats snapshots the ingestion counters.
+func (h *HeadEnd) Stats() HeadEndStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.ActiveConns = h.active
+	return st
 }
 
 // Listen starts accepting connections on the given address ("127.0.0.1:0"
-// for an ephemeral test port) and returns the bound address.
+// for an ephemeral test port) and returns the bound address. A head-end
+// listens at most once: a second Listen returns ErrListening rather than
+// silently leaking the first listener and its accept loop.
 func (h *HeadEnd) Listen(addr string) (string, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return "", fmt.Errorf("ami: head-end: %w", ErrClosed)
+	}
+	if h.ln != nil {
+		h.mu.Unlock()
+		return "", fmt.Errorf("ami: head-end: %w", ErrListening)
+	}
+	h.mu.Unlock()
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("ami: head-end listen: %w", err)
 	}
 	h.mu.Lock()
-	if h.closed {
+	if h.closed || h.ln != nil {
+		reason := ErrClosed
+		if h.ln != nil {
+			reason = ErrListening
+		}
 		h.mu.Unlock()
 		_ = ln.Close()
-		return "", fmt.Errorf("ami: head-end already closed")
+		return "", fmt.Errorf("ami: head-end: %w", reason)
 	}
 	h.ln = ln
 	h.mu.Unlock()
@@ -77,46 +173,139 @@ func (h *HeadEnd) acceptLoop(ln net.Listener) {
 			// Listener closed: normal shutdown.
 			return
 		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if h.active >= h.cfg.MaxConns {
+			h.stats.LimitRejected++
+			h.conns[conn] = false
+			h.mu.Unlock()
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				defer h.untrack(conn, false)
+				h.rejectBusy(conn)
+			}()
+			continue
+		}
+		h.conns[conn] = true
+		h.active++
+		h.stats.TotalConns++
+		h.mu.Unlock()
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
+			defer h.untrack(conn, true)
 			h.handle(conn)
 		}()
 	}
 }
 
-// handle serves one meter connection until EOF or protocol error.
+func (h *HeadEnd) untrack(conn net.Conn, session bool) {
+	h.mu.Lock()
+	delete(h.conns, conn)
+	if session {
+		h.active--
+	}
+	h.mu.Unlock()
+}
+
+// rejectBusy turns away a connection accepted past the limit: it consumes
+// the hello, answers with a CodeBusy error, then drains until the meter
+// hangs up. The drain matters — closing with the meter's next frame unread
+// would trigger a TCP reset that can destroy the error envelope before the
+// meter reads it.
+func (h *HeadEnd) rejectBusy(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	grace := h.cfg.IdleTimeout
+	if grace > 5*time.Second {
+		grace = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(grace))
+	codec := NewCodec(conn)
+	_, _ = codec.Recv()
+	if err := codec.Send(&Envelope{Type: TypeError, Code: CodeBusy, Error: "head-end at connection limit"}); err != nil {
+		return
+	}
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// recv arms the idle read deadline and reads one envelope.
+func (h *HeadEnd) recv(conn net.Conn, codec *Codec) (*Envelope, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(h.cfg.IdleTimeout))
+	return codec.Recv()
+}
+
+// shuttingDown reports whether Close has begun.
+func (h *HeadEnd) shuttingDown() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// handle serves one meter connection until EOF, protocol error, idle
+// timeout, or shutdown.
 func (h *HeadEnd) handle(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	codec := NewCodec(conn)
 
 	// First envelope must be a hello.
-	first, err := codec.Recv()
+	first, err := h.recv(conn, codec)
 	if err != nil {
 		return
 	}
 	if first.Type != TypeHello {
-		_ = codec.Send(&Envelope{Type: TypeError, Error: "expected hello"})
+		_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected hello"})
 		return
 	}
 	meterID := first.Hello.MeterID
 
 	for {
-		env, err := codec.Recv()
+		// Drain semantics: finish the in-flight request/ack cycle, then
+		// bow out between readings once shutdown has begun.
+		if h.shuttingDown() {
+			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeShuttingDown, Error: "head-end shutting down"})
+			return
+		}
+		env, err := h.recv(conn, codec)
 		if errors.Is(err, io.EOF) {
 			return
 		}
 		if err != nil {
-			_ = codec.Send(&Envelope{Type: TypeError, Error: err.Error()})
+			if h.shuttingDown() {
+				// Force-closed (or cut mid-read) during drain; nothing to say.
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				h.bump(func(st *HeadEndStats) { st.IdleTimeouts++ })
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeIdleTimeout, Error: "idle timeout"})
+				return
+			}
+			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			_ = codec.Send(errorEnvelope(err))
 			return
 		}
 		if env.Type != TypeReading {
-			_ = codec.Send(&Envelope{Type: TypeError, Error: "expected reading"})
+			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected reading"})
 			return
 		}
 		if env.Reading.MeterID != meterID {
-			_ = codec.Send(&Envelope{Type: TypeError,
-				Error: fmt.Sprintf("meter ID %q does not match session %q", env.Reading.MeterID, meterID)})
+			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			mismatch := fmt.Errorf("%w: reading claims %q, session is %q", ErrSessionMismatch, env.Reading.MeterID, meterID)
+			_ = codec.Send(errorEnvelope(mismatch))
 			return
 		}
 		h.mu.Lock()
@@ -124,10 +313,8 @@ func (h *HeadEnd) handle(conn net.Conn) {
 		h.mu.Unlock()
 		if kr != nil {
 			if err := kr.VerifyEnvelope(env); err != nil {
-				h.mu.Lock()
-				h.authFail++
-				h.mu.Unlock()
-				_ = codec.Send(&Envelope{Type: TypeError, Error: err.Error()})
+				h.bump(func(st *HeadEndStats) { st.AuthFailed++ })
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeAuth, Error: err.Error()})
 				return
 			}
 		}
@@ -136,6 +323,12 @@ func (h *HeadEnd) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+func (h *HeadEnd) bump(f func(*HeadEndStats)) {
+	h.mu.Lock()
+	f(&h.stats)
+	h.mu.Unlock()
 }
 
 func (h *HeadEnd) store(r *ReadingMsg) {
@@ -147,19 +340,47 @@ func (h *HeadEnd) store(r *ReadingMsg) {
 		h.readings[r.MeterID] = m
 	}
 	m[timeseries.Slot(r.Slot)] = r.KW
+	h.stats.Accepted++
 }
 
-// Close stops the listener and waits for every connection handler to exit.
+// Close stops the listener and drains active sessions: handlers get
+// DrainTimeout to finish their in-flight request, after which every
+// registered connection is force-closed. Close therefore returns within a
+// bounded time even when a meter holds an idle connection open.
 func (h *HeadEnd) Close() error {
 	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return nil
+	}
 	h.closed = true
 	ln := h.ln
+	close(h.done)
 	h.mu.Unlock()
+
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	h.wg.Wait()
+	drained := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(drained)
+	}()
+	timer := time.NewTimer(h.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-drained:
+	case <-timer.C:
+		h.mu.Lock()
+		for conn := range h.conns {
+			h.stats.ForcedCloses++
+			_ = conn.Close()
+		}
+		h.mu.Unlock()
+		<-drained
+	}
 	return err
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // RewriteFunc intercepts a reading in flight and returns the (possibly
@@ -13,42 +14,92 @@ import (
 // reading through.
 type RewriteFunc func(ReadingMsg) ReadingMsg
 
+// MITMConfig bounds the proxy's connection lifecycle. The zero value
+// selects the same defaults as the head-end.
+type MITMConfig struct {
+	// IdleTimeout is the per-read deadline on both legs (0 = DefaultIdleTimeout).
+	IdleTimeout time.Duration
+	// DrainTimeout is the Close grace period (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+}
+
+func (c *MITMConfig) applyDefaults() {
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+}
+
 // MITM is a man-in-the-middle proxy between meters and the head-end. It
 // decodes the wire protocol, applies a rewrite function to readings, and
 // forwards everything else untouched — the concrete mechanism behind every
 // "compromised communication link" attack in the paper. Acks flow back to
 // the meter for the *original* slot, so the victim meter observes a
-// perfectly healthy session.
+// perfectly healthy session. Like the head-end it registers every live
+// connection so Close force-closes stragglers after the drain timeout.
 type MITM struct {
 	upstream string
 	rewrite  RewriteFunc
+	cfg      MITMConfig
 
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
 	nSeen  int
 	nRewr  int
+	conns  map[net.Conn]struct{}
 
-	wg sync.WaitGroup
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // NewMITM creates a proxy that forwards to the given upstream head-end
 // address, rewriting readings with rw (nil passes everything through).
 func NewMITM(upstream string, rw RewriteFunc) *MITM {
-	return &MITM{upstream: upstream, rewrite: rw}
+	return NewMITMWith(upstream, rw, MITMConfig{})
 }
 
-// Listen starts the proxy and returns its bound address.
+// NewMITMWith is NewMITM with explicit lifecycle limits.
+func NewMITMWith(upstream string, rw RewriteFunc, cfg MITMConfig) *MITM {
+	cfg.applyDefaults()
+	return &MITM{
+		upstream: upstream,
+		rewrite:  rw,
+		cfg:      cfg,
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Listen starts the proxy and returns its bound address. A proxy listens
+// at most once: a second Listen returns ErrListening.
 func (m *MITM) Listen(addr string) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", fmt.Errorf("ami: mitm: %w", ErrClosed)
+	}
+	if m.ln != nil {
+		m.mu.Unlock()
+		return "", fmt.Errorf("ami: mitm: %w", ErrListening)
+	}
+	m.mu.Unlock()
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("ami: mitm listen: %w", err)
 	}
 	m.mu.Lock()
-	if m.closed {
+	if m.closed || m.ln != nil {
+		reason := ErrClosed
+		if m.ln != nil {
+			reason = ErrListening
+		}
 		m.mu.Unlock()
 		_ = ln.Close()
-		return "", fmt.Errorf("ami: mitm already closed")
+		return "", fmt.Errorf("ami: mitm: %w", reason)
 	}
 	m.ln = ln
 	m.mu.Unlock()
@@ -65,21 +116,65 @@ func (m *MITM) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
+			defer m.untrack(conn)
 			m.handle(conn)
 		}()
 	}
 }
 
+func (m *MITM) track(conn net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+func (m *MITM) untrack(conn net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, conn)
+	m.mu.Unlock()
+}
+
+func (m *MITM) shuttingDown() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// recv arms the idle read deadline on one leg and reads an envelope.
+func (m *MITM) recv(conn net.Conn, codec *Codec) (*Envelope, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(m.cfg.IdleTimeout))
+	return codec.Recv()
+}
+
 func (m *MITM) handle(down net.Conn) {
 	defer func() { _ = down.Close() }()
-	up, err := net.Dial("tcp", m.upstream)
+	up, err := net.DialTimeout("tcp", m.upstream, m.cfg.IdleTimeout)
 	if err != nil {
 		return
 	}
 	defer func() { _ = up.Close() }()
+	if !m.track(up) {
+		return
+	}
+	defer m.untrack(up)
 
 	downCodec := NewCodec(down)
 	upCodec := NewCodec(up)
@@ -87,7 +182,11 @@ func (m *MITM) handle(down net.Conn) {
 	// Downstream -> upstream with rewriting; responses relayed inline (the
 	// protocol is strictly request/response after the hello).
 	for {
-		env, err := downCodec.Recv()
+		if m.shuttingDown() {
+			_ = downCodec.Send(&Envelope{Type: TypeError, Code: CodeShuttingDown, Error: "proxy shutting down"})
+			return
+		}
+		env, err := m.recv(down, downCodec)
 		if errors.Is(err, io.EOF) {
 			return
 		}
@@ -115,7 +214,7 @@ func (m *MITM) handle(down net.Conn) {
 		if env.Type == TypeHello {
 			continue // hello has no response
 		}
-		resp, err := upCodec.Recv()
+		resp, err := m.recv(up, upCodec)
 		if err != nil {
 			return
 		}
@@ -133,16 +232,41 @@ func (m *MITM) Stats() (seen, rewritten int) {
 	return m.nSeen, m.nRewr
 }
 
-// Close stops the proxy and waits for active sessions to finish.
+// Close stops the proxy, gives active sessions the drain timeout to finish
+// their in-flight exchange, then force-closes whatever remains. Bounded
+// even when a meter holds an idle connection.
 func (m *MITM) Close() error {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
 	m.closed = true
 	ln := m.ln
+	close(m.done)
 	m.mu.Unlock()
+
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	m.wg.Wait()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	timer := time.NewTimer(m.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-drained:
+	case <-timer.C:
+		m.mu.Lock()
+		for conn := range m.conns {
+			_ = conn.Close()
+		}
+		m.mu.Unlock()
+		<-drained
+	}
 	return err
 }

@@ -1,12 +1,18 @@
 package ami
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"strings"
+	"math/rand"
 	"time"
 
 	"repro/internal/meter"
 )
+
+// maxRetryBackoff caps the exponential retry schedule so a long outage
+// does not grow the inter-attempt delay without bound.
+const maxRetryBackoff = 30 * time.Second
 
 // ReliableClient wraps Client with redial-and-retry. Delivery is safe to
 // retry because the head-end stores readings idempotently by (meter, slot):
@@ -25,8 +31,9 @@ type ReliableClient struct {
 }
 
 // NewReliableClient configures a reliable sender. retries is the number of
-// redial attempts per reading (minimum 1); backoff is the delay between
-// attempts (0 for tests).
+// redial attempts per reading (minimum 1); backoff is the base delay
+// between attempts (0 for tests) — successive attempts back off
+// exponentially from it, with jitter, capped at maxRetryBackoff.
 func NewReliableClient(addr, meterID string, key []byte, timeout time.Duration, retries int, backoff time.Duration) (*ReliableClient, error) {
 	if meterID == "" {
 		return nil, fmt.Errorf("ami: meter ID is required")
@@ -65,15 +72,60 @@ func (rc *ReliableClient) drop() {
 	}
 }
 
-// Send delivers one reading, redialing on transport errors up to the retry
-// budget. Protocol-level rejections (authentication failure, session
-// mismatch) are returned immediately: retrying a rejected reading cannot
-// succeed.
+// retryDelay computes the pause before the given attempt (attempt >= 1):
+// base * 2^(attempt-1), capped at maxRetryBackoff, jittered uniformly over
+// [d/2, 3d/2) so a fleet of meters recovering from the same outage does
+// not stampede the head-end in lockstep.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepContext pauses for d or until the context ends, whichever is first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Send delivers one reading with the background context.
 func (rc *ReliableClient) Send(r meter.Reading) error {
+	return rc.SendContext(context.Background(), r)
+}
+
+// SendContext delivers one reading, redialing on transport errors (and
+// transient rejections such as a busy head-end) up to the retry budget,
+// backing off exponentially with jitter between attempts. Permanent
+// protocol rejections — authentication failure, session mismatch — are
+// returned immediately: retrying a rejected reading cannot succeed.
+// Cancelling the context aborts the retry loop, including mid-backoff.
+func (rc *ReliableClient) SendContext(ctx context.Context, r meter.Reading) error {
 	var lastErr error
 	for attempt := 0; attempt < rc.retries; attempt++ {
-		if attempt > 0 && rc.backoff > 0 {
-			time.Sleep(rc.backoff)
+		if attempt > 0 {
+			if err := sleepContext(ctx, retryDelay(rc.backoff, attempt)); err != nil {
+				return fmt.Errorf("ami: send aborted: %w", err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("ami: send aborted: %w", err)
 		}
 		if err := rc.ensure(); err != nil {
 			lastErr = err
@@ -84,9 +136,9 @@ func (rc *ReliableClient) Send(r meter.Reading) error {
 			return nil
 		}
 		lastErr = err
-		// A head-end rejection arrives as a well-formed error response on a
-		// healthy connection; give up immediately.
-		if isRejection(err) {
+		// A permanent rejection arrives as a well-formed error response on
+		// a healthy connection; give up immediately.
+		if errors.Is(err, ErrRejected) {
 			return err
 		}
 		rc.drop()
@@ -94,15 +146,16 @@ func (rc *ReliableClient) Send(r meter.Reading) error {
 	return fmt.Errorf("ami: giving up after %d attempts: %w", rc.retries, lastErr)
 }
 
-// isRejection distinguishes protocol rejections from transport failures.
-func isRejection(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "head-end rejected reading")
+// SendAll delivers a batch with the background context.
+func (rc *ReliableClient) SendAll(rs []meter.Reading) error {
+	return rc.SendAllContext(context.Background(), rs)
 }
 
-// SendAll delivers a batch, retrying each reading independently.
-func (rc *ReliableClient) SendAll(rs []meter.Reading) error {
+// SendAllContext delivers a batch, retrying each reading independently.
+// Errors wrap the per-reading failure, so errors.Is still classifies them.
+func (rc *ReliableClient) SendAllContext(ctx context.Context, rs []meter.Reading) error {
 	for i := range rs {
-		if err := rc.Send(rs[i]); err != nil {
+		if err := rc.SendContext(ctx, rs[i]); err != nil {
 			return fmt.Errorf("ami: reading %d: %w", i, err)
 		}
 	}

@@ -33,6 +33,10 @@ type Envelope struct {
 	Reading *ReadingMsg `json:"reading,omitempty"`
 	Ack     *AckMsg     `json:"ack,omitempty"`
 	Error   string      `json:"error,omitempty"`
+	// Code is the machine-readable classification of a TypeError envelope
+	// (see the Code* constants). Optional: peers predating the taxonomy
+	// send errors with no code, which readers treat as permanent.
+	Code string `json:"code,omitempty"`
 	// Auth is the optional hex HMAC-SHA256 tag over the reading (see
 	// SignReading). Verified only when the head-end runs with a keyring.
 	Auth string `json:"auth,omitempty"`
