@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick fuzz verify
+.PHONY: build test vet race bench bench-quick fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,18 @@ bench-quick:
 bench:
 	$(GO) run ./cmd/fdeta bench
 
-# fuzz: a short fuzz pass over the AMI wire codec so envelope-validation
-# regressions are caught pre-merge.
+# fuzz: short fuzz passes over the AMI wire codec and the dataset CSV
+# parser so envelope-validation and parser regressions are caught pre-merge.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=5s ./internal/ami
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=5s ./internal/dataset
+
+# faults-smoke: the fault-injection path end to end on a tiny population —
+# the degradation curve must come out, and rate 0 must match the clean run.
+faults-smoke:
+	$(GO) run ./cmd/fdeta faults -consumers 4 -trials 2 -rates 0,0.3
 
 # verify: the gate for every PR — build, vet, the race detector across the
-# parallel order selection and evaluation pool, the quick benchmarks, and
-# the wire-codec fuzz pass.
-verify: build vet race bench-quick fuzz
+# parallel order selection and evaluation pool, the quick benchmarks, the
+# fuzz passes, and the fault-injection smoke run.
+verify: build vet race bench-quick fuzz faults-smoke

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"os/signal"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/ami"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/meter"
 	"repro/internal/timeseries"
 )
@@ -34,6 +36,7 @@ func run(args []string, out io.Writer) int {
 	underreport := fs.Float64("underreport", 0, "fraction to shave off every report (0 = honest, 0.5 = report half)")
 	interval := fs.Duration("interval", 0, "delay between readings (0 = as fast as possible)")
 	retries := fs.Int("retries", 3, "delivery attempts per reading")
+	faultSpec := fs.String("fault", "", "inject meter faults, e.g. 'dropout:0.1+stuckat:1' (dropped slots are never sent)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,13 +45,39 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(os.Stderr, "amimeter: -underreport must be in [0, 1)")
 		return 2
 	}
+	scens, err := fault.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amimeter:", err)
+		return 2
+	}
 
 	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: 2, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amimeter:", err)
 		return 1
 	}
-	m, err := meter.New(*id, ds.Consumers[0].Demand, meter.Config{ErrorSigma: 0.005, Seed: *seed})
+	series := ds.Consumers[0].Demand
+	var mask timeseries.Mask
+	if len(scens) > 0 {
+		// Key the fault stream on the meter identity so a fleet of amimeter
+		// processes sharing one seed still draws distinct fault patterns.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(*id))
+		plan := fault.Plan{Seed: *seed, Scenarios: scens}
+		r, err := plan.Realize(int64(h.Sum64()), len(series))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amimeter:", err)
+			return 1
+		}
+		series, mask, err = r.Apply(series)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amimeter:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "amimeter: %s FAULTY — plan %s hits %d of %d slots\n",
+			*id, plan, r.Bad(), r.Len())
+	}
+	m, err := meter.New(*id, series, meter.Config{ErrorSigma: 0.005, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amimeter:", err)
 		return 1
@@ -75,7 +104,11 @@ func run(args []string, out io.Writer) int {
 	if n > m.Slots() {
 		n = m.Slots()
 	}
+	sent := 0
 	for s := 0; s < n; s++ {
+		if len(mask) > 0 && mask[s] == timeseries.StatusMissing {
+			continue // the backhaul dropped this slot: nothing to deliver
+		}
 		r, err := m.Report(timeseries.Slot(s))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "amimeter:", err)
@@ -89,6 +122,7 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(os.Stderr, "amimeter:", err)
 			return 1
 		}
+		sent++
 		if *interval > 0 {
 			select {
 			case <-ctx.Done():
@@ -98,6 +132,11 @@ func run(args []string, out io.Writer) int {
 			}
 		}
 	}
-	fmt.Fprintf(out, "amimeter: %s reported %d readings to %s\n", *id, n, *addr)
+	if dropped := n - sent; dropped > 0 {
+		fmt.Fprintf(out, "amimeter: %s reported %d readings to %s (%d dropped by faults)\n",
+			*id, sent, *addr, dropped)
+		return 0
+	}
+	fmt.Fprintf(out, "amimeter: %s reported %d readings to %s\n", *id, sent, *addr)
 	return 0
 }

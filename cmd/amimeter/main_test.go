@@ -64,6 +64,40 @@ func TestAmimeterUnderreport(t *testing.T) {
 	}
 }
 
+func TestAmimeterFaultInjection(t *testing.T) {
+	head := ami.NewHeadEnd()
+	addr, err := head.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = head.Close() }()
+
+	var out bytes.Buffer
+	code := run([]string{"-addr", addr, "-id", "flaky", "-slots", "48", "-fault", "dropout:0.5"}, &out)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAULTY") {
+		t.Error("fault banner missing")
+	}
+	got := head.Count("flaky")
+	if got >= 48 || got == 0 {
+		t.Errorf("head-end collected %d readings; want some but fewer than 48 under 50%% dropout", got)
+	}
+	if !strings.Contains(out.String(), "dropped by faults") {
+		t.Errorf("dropped summary missing: %q", out.String())
+	}
+
+	// The same (seed, id) pair replays the same fault pattern.
+	out.Reset()
+	if code := run([]string{"-addr", addr, "-id", "flaky2", "-slots", "48", "-fault", "dropout:0.5"}, &out); code != 0 {
+		t.Fatalf("second run failed: %s", out.String())
+	}
+	if head.Count("flaky2") == 48 {
+		t.Error("second faulty meter delivered a dense series")
+	}
+}
+
 func TestAmimeterBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-underreport", "1.5"}, &out); code != 2 {
@@ -71,6 +105,9 @@ func TestAmimeterBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out); code != 2 {
 		t.Error("unknown flag should exit 2")
+	}
+	if code := run([]string{"-fault", "sparks:1"}, &out); code != 2 {
+		t.Error("invalid fault spec should exit 2")
 	}
 	// Dead head-end: delivery fails after retries.
 	if code := run([]string{"-addr", "127.0.0.1:1", "-slots", "1", "-retries", "1"}, &out); code != 1 {

@@ -7,11 +7,13 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/ami"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/meter"
 	"repro/internal/timeseries"
 )
@@ -30,6 +32,7 @@ func cmdCollect(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", ami.DefaultIdleTimeout, "head-end idle read deadline")
 	drain := fs.Duration("drain", time.Second, "shutdown grace before force-closing connections")
 	retries := fs.Int("retries", 3, "delivery attempts per reading")
+	faultSpec := fs.String("fault", "", "inject meter faults into the collected stream, e.g. 'dropout:0.1+spike:0.01,20' (dropped slots are never sent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,6 +42,11 @@ func cmdCollect(args []string) error {
 	if *slots < 1 || *slots > timeseries.SlotsPerWeek {
 		return fmt.Errorf("collect: -slots must be in [1, %d]", timeseries.SlotsPerWeek)
 	}
+	scens, err := fault.Parse(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	plan := fault.Plan{Seed: *seed, Scenarios: scens}
 
 	ds, err := dataset.Generate(dataset.Config{Residential: *meters, Weeks: 2, Seed: *seed})
 	if err != nil {
@@ -62,6 +70,7 @@ func cmdCollect(args []string) error {
 
 	start := time.Now()
 	errc := make(chan error, *meters)
+	var dropped, corrupted atomic.Int64
 	var wg sync.WaitGroup
 	for i := range ds.Consumers {
 		c := &ds.Consumers[i]
@@ -69,7 +78,24 @@ func cmdCollect(args []string) error {
 		go func() {
 			defer wg.Done()
 			id := fmt.Sprintf("meter-%d", c.ID)
-			m, err := meter.New(id, c.Demand, meter.Config{})
+			// Faults hit the reported stream: the realization rewrites the
+			// register values (spikes, stuck windows) and marks the slots
+			// the backhaul lost, which the client then never sends.
+			series := c.Demand[:*slots]
+			mask := timeseries.Mask(nil)
+			if plan.Enabled() {
+				r, err := plan.Realize(int64(c.ID), *slots)
+				if err != nil {
+					errc <- err
+					return
+				}
+				series, mask, err = r.Apply(series)
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			m, err := meter.New(id, series, meter.Config{})
 			if err != nil {
 				errc <- err
 				return
@@ -85,6 +111,20 @@ func cmdCollect(args []string) error {
 				errc <- err
 				return
 			}
+			if len(mask) > 0 {
+				kept := readings[:0]
+				for _, r := range readings {
+					switch mask[r.Slot] {
+					case timeseries.StatusMissing:
+						dropped.Add(1)
+						continue
+					case timeseries.StatusCorrupt:
+						corrupted.Add(1)
+					}
+					kept = append(kept, r)
+				}
+				readings = kept
+			}
 			errc <- rc.SendAllContext(ctx, readings)
 		}()
 	}
@@ -99,10 +139,14 @@ func cmdCollect(args []string) error {
 	elapsed := time.Since(start)
 
 	// Every collected series must be dense — a gap is a lost reading.
-	for _, id := range head.Meters() {
-		if _, err := head.Series(id, *slots); err != nil {
-			_ = head.Close()
-			return err
+	// Injected dropouts are intentional gaps, so the density check only
+	// applies on the fault-free path.
+	if !plan.Enabled() {
+		for _, id := range head.Meters() {
+			if _, err := head.Series(id, *slots); err != nil {
+				_ = head.Close()
+				return err
+			}
 		}
 	}
 	if err := head.Close(); err != nil {
@@ -110,7 +154,7 @@ func cmdCollect(args []string) error {
 	}
 
 	st := head.Stats()
-	total := int64(*meters) * int64(*slots)
+	total := int64(*meters)*int64(*slots) - dropped.Load()
 	fmt.Printf("collect: %d meters delivered %d/%d readings in %s (%.0f readings/s)\n",
 		*meters, st.Accepted, total, elapsed.Round(time.Millisecond),
 		float64(st.Accepted)/elapsed.Seconds())
@@ -118,6 +162,11 @@ func cmdCollect(args []string) error {
 		st.TotalConns, st.LimitRejected, st.Rejected, st.AuthFailed, st.IdleTimeouts, st.ForcedCloses)
 	if st.Accepted != total {
 		return fmt.Errorf("collect: accepted %d of %d readings", st.Accepted, total)
+	}
+	if plan.Enabled() {
+		fmt.Printf("collect: fault plan %s dropped %d readings and corrupted %d in flight\n",
+			plan, dropped.Load(), corrupted.Load())
+		return nil
 	}
 	fmt.Println("collect: all series dense — clean shutdown, no forced closes expected on this path")
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/meter"
 	"repro/internal/timeseries"
 	"repro/internal/topology"
@@ -21,6 +22,9 @@ type evalFlags struct {
 	trials      int
 	seed        int64
 	parallelism int
+	strict      bool
+	checkpoint  string
+	faultSpec   string
 	cpuprofile  string
 	memprofile  string
 }
@@ -32,12 +36,15 @@ func bindEvalFlags(fs *flag.FlagSet) *evalFlags {
 	fs.IntVar(&ef.trials, "trials", 0, "override the attack trial count")
 	fs.Int64Var(&ef.seed, "seed", 2016, "experiment seed")
 	fs.IntVar(&ef.parallelism, "parallelism", 0, "worker goroutines for per-consumer evaluation (0 = GOMAXPROCS); results are identical at any setting")
+	fs.BoolVar(&ef.strict, "strict", false, "abort on the first consumer evaluation failure instead of quarantining it")
+	fs.StringVar(&ef.checkpoint, "checkpoint", "", "JSON checkpoint path: per-consumer results are flushed as they finish, and rerunning with the same settings resumes from them")
+	fs.StringVar(&ef.faultSpec, "fault", "", "inject meter faults into the monitored weeks, e.g. 'dropout:0.1+spike:0.01,20' (kinds: dropout, outage, stuckat, spike, clockslip)")
 	fs.StringVar(&ef.cpuprofile, "cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with `go tool pprof`)")
 	fs.StringVar(&ef.memprofile, "memprofile", "", "write a post-evaluation heap profile to this file (inspect with `go tool pprof`)")
 	return ef
 }
 
-func (ef *evalFlags) options() experiments.Options {
+func (ef *evalFlags) options() (experiments.Options, error) {
 	opts := experiments.QuickOptions()
 	if ef.full {
 		opts = experiments.PaperOptions()
@@ -50,7 +57,22 @@ func (ef *evalFlags) options() experiments.Options {
 	}
 	opts.Seed = ef.seed
 	opts.Parallelism = ef.parallelism
-	return opts
+	opts.Strict = ef.strict
+	opts.Checkpoint = ef.checkpoint
+	if ef.faultSpec != "" {
+		scens, err := fault.Parse(ef.faultSpec)
+		if err != nil {
+			return opts, err
+		}
+		opts.Fault = fault.Plan{
+			// Offset the seed so per-meter fault streams never replay the
+			// per-meter attack streams (both split on (seed, meterID)).
+			Seed:      opts.Seed + experiments.FaultSeedOffset,
+			Scenarios: scens,
+			FromWeek:  opts.TrainWeeks,
+		}
+	}
+	return opts, nil
 }
 
 // run executes the evaluation body with optional CPU/heap profiling wrapped
@@ -172,8 +194,12 @@ func cmdTables(cmd string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	ev, err := evalRun(ef, func() (*experiments.Evaluation, error) {
-		return experiments.RunEvaluation(ef.options())
+		return experiments.RunEvaluation(opts)
 	})
 	if err != nil {
 		return err
@@ -294,8 +320,12 @@ func cmdFig3(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	data, err := evalRun(ef, func() (*experiments.Fig3Data, error) {
-		return experiments.GenerateFig3(ef.options(), *consumer)
+		return experiments.GenerateFig3(opts, *consumer)
 	})
 	if err != nil {
 		return err
@@ -321,8 +351,12 @@ func cmdFig4(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	data, err := evalRun(ef, func() (*experiments.Fig4Data, error) {
-		return experiments.GenerateFig4(ef.options(), *consumer, *bins)
+		return experiments.GenerateFig4(opts, *consumer, *bins)
 	})
 	if err != nil {
 		return err
@@ -347,9 +381,13 @@ func cmdAblateBins(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	bins := []int{4, 6, 8, 10, 15, 20, 30, 40}
 	points, err := evalRun(ef, func() ([]experiments.BinSweepPoint, error) {
-		return experiments.BinSweep(ef.options(), bins)
+		return experiments.BinSweep(opts, bins)
 	})
 	if err != nil {
 		return err
@@ -369,7 +407,10 @@ func cmdAblateTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := ef.options()
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	weeks := []int{}
 	for _, w := range []int{6, 10, 16, 22, 28, 40, 60} {
 		if w < opts.Dataset.Weeks {

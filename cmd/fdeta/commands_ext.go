@@ -17,8 +17,12 @@ func cmdTimeToDetect(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	sum, err := evalRun(ef, func() (*experiments.TTDSummary, error) {
-		return experiments.TimeToDetection(ef.options())
+		return experiments.TimeToDetection(opts)
 	})
 	if err != nil {
 		return err
@@ -38,8 +42,12 @@ func cmdAblateDivergence(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	points, err := evalRun(ef, func() ([]experiments.DivergencePoint, error) {
-		return experiments.DivergenceSweep(ef.options())
+		return experiments.DivergenceSweep(opts)
 	})
 	if err != nil {
 		return err
@@ -59,8 +67,12 @@ func cmdBaselines(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	points, err := evalRun(ef, func() ([]experiments.BaselinePoint, error) {
-		return experiments.BaselineComparison(ef.options())
+		return experiments.BaselineComparison(opts)
 	})
 	if err != nil {
 		return err
@@ -81,7 +93,10 @@ func cmdSpread(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := ef.options()
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	counts := []int{1, 2, 4, 8}
 	points, err := evalRun(ef, func() ([]experiments.SpreadPoint, error) {
 		return experiments.SpreadSweep(opts, *total, counts)
@@ -104,8 +119,12 @@ func cmdAblateBinStrategy(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	points, err := evalRun(ef, func() ([]experiments.BinStrategyPoint, error) {
-		return experiments.BinStrategySweep(ef.options())
+		return experiments.BinStrategySweep(opts)
 	})
 	if err != nil {
 		return err
@@ -125,8 +144,12 @@ func cmdFPProfile(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 	points, err := evalRun(ef, func() ([]experiments.FPPoint, error) {
-		return experiments.FalsePositiveProfile(ef.options())
+		return experiments.FalsePositiveProfile(opts)
 	})
 	if err != nil {
 		return err

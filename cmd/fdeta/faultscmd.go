@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// cmdFaults emits the detection-degradation curve: the Table II protocol
+// re-evaluated at a sweep of missing-data fractions, showing how Metric 1
+// decays and how many verdicts the coverage gate declines as readings are
+// lost. Extra fault scenarios given via -fault compose into every point.
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	ef := bindEvalFlags(fs)
+	ratesArg := fs.String("rates", "0,0.05,0.1,0.2,0.3", "comma-separated dropout rates to sweep")
+	out := fs.String("o", "", "also write the full detector×scenario curve as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rates, err := parseRates(*ratesArg)
+	if err != nil {
+		return err
+	}
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
+	res, err := evalRun(ef, func() (*experiments.FaultSweepResult, error) {
+		return experiments.RunFaultSweep(opts, rates)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Detection degradation vs missing-data fraction (Metric 1, mean over scenarios)")
+	if opts.Fault.Enabled() {
+		fmt.Printf("composed fault scenarios at every point: %s\n", opts.Fault)
+	}
+	header := "dropout"
+	for _, d := range experiments.DetectorIDs() {
+		header += fmt.Sprintf("  %16s", string(d))
+	}
+	header += "   inconcl  quarantined"
+	fmt.Println(header)
+	for _, pt := range res.Points {
+		row := fmt.Sprintf("%6.1f%%", 100*pt.Rate)
+		for _, d := range experiments.DetectorIDs() {
+			var sum float64
+			scens := experiments.Scenarios()
+			for _, s := range scens {
+				sum += pt.DetectionRate[d][s]
+			}
+			row += fmt.Sprintf("  %15.1f%%", 100*sum/float64(len(scens)))
+		}
+		row += fmt.Sprintf("  %7.1f%%  %11d", 100*pt.InconclusiveFrac, pt.Quarantined)
+		fmt.Println(row)
+	}
+	fmt.Println("(inconcl: verdicts declined at the coverage gate; they count as misses in Metric 1)")
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		fmt.Fprintln(f, "rate,detector,scenario,detection_rate,inconclusive_frac,quarantined")
+		for _, pt := range res.Points {
+			for _, d := range experiments.DetectorIDs() {
+				for _, s := range experiments.Scenarios() {
+					fmt.Fprintf(f, "%g,%s,%s,%g,%g,%d\n",
+						pt.Rate, d, s, pt.DetectionRate[d][s], pt.InconclusiveFrac, pt.Quarantined)
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-point degradation curve to %s\n", len(res.Points), *out)
+	}
+	return nil
+}
+
+// parseRates parses the -rates list ("0,0.1,0.3") into a float slice.
+func parseRates(arg string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad rate %q: %v", part, err)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("faults: -rates is empty")
+	}
+	return rates, nil
+}

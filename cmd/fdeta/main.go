@@ -17,6 +17,7 @@
 //	fig2          demonstrate the Fig. 2 topology and balance check
 //	fig3          emit the Fig. 3 attack-vector series as CSV
 //	fig4          emit the Fig. 4 distribution data as CSV
+//	faults        detection-degradation curve under injected meter faults
 //	ablate-bins   sweep the KLD histogram bin count B
 //	ablate-train  sweep the training history length
 //	ablate-divergence  compare divergence measures
@@ -70,6 +71,8 @@ func run(args []string) int {
 		err = cmdAblateDivergence(rest)
 	case "ablate-binning":
 		err = cmdAblateBinStrategy(rest)
+	case "faults":
+		err = cmdFaults(rest)
 	case "ttd":
 		err = cmdTimeToDetect(rest)
 	case "spread":
@@ -132,6 +135,7 @@ Paper artifacts:
   fig4          Fig. 4 — X / X_i / attack distributions and KLD data (CSV)
 
 Extensions:
+  faults             detection-degradation curve under injected meter faults
   ablate-bins        sweep the KLD histogram bin count
   ablate-train       sweep the training history length
   ablate-divergence  compare KL vs symmetric-KL vs Jensen-Shannon
@@ -145,6 +149,9 @@ Extensions:
   bench              run table + component benchmarks, write BENCH_<date>.json
 
 Evaluation commands accept -parallelism (worker goroutines; results are
-identical at any setting) and -cpuprofile/-memprofile (pprof output files).
+identical at any setting), -cpuprofile/-memprofile (pprof output files),
+-fault SPEC (inject meter faults into the monitored weeks), -checkpoint
+FILE (crash-safe per-consumer progress; rerun to resume), and -strict
+(fail fast instead of quarantining a failing consumer).
 `)
 }

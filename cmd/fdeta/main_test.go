@@ -25,8 +25,13 @@ func TestRunDispatcher(t *testing.T) {
 		{"bill", []string{"bill", "-consumers", "3", "-theft", "0.5"}, 0},
 		{"bill bad theft", []string{"bill", "-theft", "2"}, 1},
 		{"collect", []string{"collect", "-meters", "4", "-slots", "16"}, 0},
+		{"collect faulty", []string{"collect", "-meters", "4", "-slots", "48", "-fault", "dropout:0.25"}, 0},
 		{"collect bad meters", []string{"collect", "-meters", "0"}, 1},
 		{"collect bad slots", []string{"collect", "-slots", "999"}, 1},
+		{"collect bad fault", []string{"collect", "-meters", "2", "-fault", "sparks:1"}, 1},
+		{"faults bad rates", []string{"faults", "-rates", "0,zero"}, 1},
+		{"faults bad spec", []string{"faults", "-rates", "0", "-fault", "sparks:1"}, 1},
+		{"table2 bad fault spec", []string{"table2", "-fault", "dropout:2"}, 1},
 		{"bad flag", []string{"table1", "-nope"}, 1},
 	}
 	for _, tt := range cases {
@@ -113,12 +118,37 @@ func TestRunSimulateAndReport(t *testing.T) {
 	}
 }
 
+func TestRunTable2Checkpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow CLI path")
+	}
+	cp := filepath.Join(t.TempDir(), "eval.ckpt")
+	args := []string{"table2", "-consumers", "4", "-trials", "2", "-checkpoint", cp}
+	if got := run(args); got != 0 {
+		t.Fatalf("checkpointed run exited %d", got)
+	}
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"Fingerprint\"") {
+		t.Error("checkpoint missing fingerprint")
+	}
+	// A rerun with the same settings resumes from the checkpoint and still
+	// prints the same table.
+	if got := run(args); got != 0 {
+		t.Errorf("resumed run exited %d", got)
+	}
+}
+
 func TestRunEvalCommandsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow CLI path")
 	}
 	for _, args := range [][]string{
 		{"table2", "-consumers", "5", "-trials", "3"},
+		{"faults", "-consumers", "4", "-trials", "2", "-rates", "0,0.3"},
+		{"table2", "-consumers", "4", "-trials", "2", "-fault", "dropout:0.1"},
 		{"table3", "-consumers", "5", "-trials", "3", "-summary"},
 		{"ttd", "-consumers", "5", "-trials", "3"},
 		{"fp-profile", "-consumers", "5"},

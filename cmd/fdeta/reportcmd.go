@@ -21,7 +21,10 @@ func cmdReport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := ef.options()
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

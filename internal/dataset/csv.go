@@ -43,7 +43,14 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		slot int
 		kw   float64
 	}
+	type meterSlot struct {
+		id   int
+		slot int
+	}
 	readings := make(map[int][]slotReading)
+	// firstLine remembers where each (meter, daycode) pair first appeared so
+	// a duplicate row can name both offending lines.
+	firstLine := make(map[meterSlot]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
 	line := 0
@@ -62,19 +69,17 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: line %d: meter id: %w", line, err)
 		}
 		code := strings.TrimSpace(parts[1])
-		if len(code) != 5 {
-			return nil, fmt.Errorf("dataset: line %d: daycode %q must be 5 digits", line, code)
+		if len(code) != 5 || !allDigits(code) {
+			return nil, fmt.Errorf("dataset: line %d: daycode %q must be exactly 5 digits (DDDTT)", line, code)
 		}
-		day, err := strconv.Atoi(code[:3])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: day part: %w", line, err)
+		day, _ := strconv.Atoi(code[:3])
+		halfHour, _ := strconv.Atoi(code[3:])
+		if day < 1 {
+			return nil, fmt.Errorf("dataset: line %d: daycode %q: day %03d out of range [001, 999]", line, code, day)
 		}
-		halfHour, err := strconv.Atoi(code[3:])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: time part: %w", line, err)
-		}
-		if day < 1 || halfHour < 1 || halfHour > timeseries.SlotsPerDay {
-			return nil, fmt.Errorf("dataset: line %d: daycode %q out of range", line, code)
+		if halfHour < 1 || halfHour > timeseries.SlotsPerDay {
+			return nil, fmt.Errorf("dataset: line %d: daycode %q: half-hour %02d out of range [01, %02d]",
+				line, code, halfHour, timeseries.SlotsPerDay)
 		}
 		kw, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
 		if err != nil {
@@ -84,6 +89,11 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: line %d: negative reading %g", line, kw)
 		}
 		slot := (day-1)*timeseries.SlotsPerDay + (halfHour - 1)
+		if prev, dup := firstLine[meterSlot{id, slot}]; dup {
+			return nil, fmt.Errorf("dataset: line %d: duplicate reading for meter %d daycode %s (first seen at line %d)",
+				line, id, code, prev)
+		}
+		firstLine[meterSlot{id, slot}] = line
 		readings[id] = append(readings[id], slotReading{slot, kw})
 	}
 	if err := sc.Err(); err != nil {
@@ -106,16 +116,11 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		sort.Slice(rs, func(i, j int) bool { return rs[i].slot < rs[j].slot })
 		maxSlot := rs[len(rs)-1].slot
 		demand := make(timeseries.Series, maxSlot+1)
-		seen := make(map[int]bool, len(rs))
 		for _, sr := range rs {
-			if seen[sr.slot] {
-				return nil, fmt.Errorf("dataset: duplicate reading for meter %d slot %d", id, sr.slot)
-			}
-			seen[sr.slot] = true
-			demand[sr.slot] = sr.kw
+			demand[sr.slot] = sr.kw // slots are unique: duplicates rejected at scan time
 		}
-		if len(seen) != maxSlot+1 {
-			return nil, fmt.Errorf("dataset: meter %d has gaps (%d of %d slots)", id, len(seen), maxSlot+1)
+		if len(rs) != maxSlot+1 {
+			return nil, fmt.Errorf("dataset: meter %d has gaps (%d of %d slots)", id, len(rs), maxSlot+1)
 		}
 		ds.Consumers = append(ds.Consumers, Consumer{
 			ID:     id,
@@ -129,4 +134,16 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	}
 	ds.Weeks = minWeeks
 	return ds, nil
+}
+
+// allDigits reports whether s is non-empty ASCII digits only. strconv.Atoi
+// is too permissive here: it accepts a leading sign, so "+1201" would pass
+// as a daycode.
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
 }

@@ -93,6 +93,70 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVErrorMessages(t *testing.T) {
+	// Malformed rows must be reported with the offending line number so a
+	// bad row in a million-line CER export is findable.
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{
+			"duplicateNamesBothLines",
+			"# header\n1001,00101,1\n1001,00102,1\n1001,00101,2\n",
+			[]string{"line 4", "duplicate reading for meter 1001 daycode 00101", "first seen at line 2"},
+		},
+		{
+			"duplicateAcrossBlankLines",
+			"1001,00101,1\n\n\n1001,00101,1\n",
+			[]string{"line 4", "first seen at line 1"},
+		},
+		{
+			"dayOutOfRange",
+			"1001,00001,1\n",
+			[]string{"line 1", "day 000 out of range"},
+		},
+		{
+			"halfHourOutOfRange",
+			"1001,00100,1\n",
+			[]string{"line 1", "half-hour 00 out of range"},
+		},
+		{
+			"halfHourTooLarge",
+			"1001,00149,1\n",
+			[]string{"line 1", "half-hour 49 out of range"},
+		},
+		{
+			"signedDaycode",
+			"1001,+0101,1\n",
+			[]string{"line 1", "must be exactly 5 digits"},
+		},
+		{
+			"decimalDaycode",
+			"1001,1.101,1\n",
+			[]string{"line 1", "must be exactly 5 digits"},
+		},
+		{
+			"laterLineNumber",
+			"# header\n\n1001,00101,1\n1001,0010x,1\n",
+			[]string{"line 4", "must be exactly 5 digits"},
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tt.in))
+			if err == nil {
+				t.Fatalf("input %q should fail", tt.in)
+			}
+			for _, frag := range tt.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q should contain %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
 func TestReadCSVMultipleConsumersSorted(t *testing.T) {
 	in := "1002,00101,1\n1001,00101,2\n"
 	ds, err := ReadCSV(strings.NewReader(in))

@@ -59,6 +59,10 @@ type Consumer struct {
 	Class ConsumerClass
 	// Demand is the actual average demand (kW) per half-hour slot.
 	Demand timeseries.Series
+	// Quality optionally annotates each Demand slot with its reading
+	// status. A nil mask means every reading is trusted (the pristine
+	// fast path); fault injection (internal/fault) populates it.
+	Quality timeseries.Mask
 }
 
 // Dataset is a collection of consumers over a common number of weeks.

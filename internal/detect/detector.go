@@ -28,6 +28,13 @@ import (
 type Verdict struct {
 	// Anomalous reports whether the detector flags the week.
 	Anomalous bool
+	// Inconclusive reports that the detector declined to judge the week
+	// because too few trusted readings were available (the coverage gate of
+	// masked detection). An inconclusive verdict is never Anomalous: flagging
+	// a consumer on a week the meter mostly failed to deliver would turn
+	// every outage into a theft accusation. Section V-B's faulty-vs-
+	// compromised distinction demands the explicit third state instead.
+	Inconclusive bool
 	// Score is the detector's test statistic for the week (violation
 	// fraction, KL divergence, reconstruction error, ...).
 	Score float64

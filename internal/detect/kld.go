@@ -115,8 +115,9 @@ func (c KLDConfig) Validate() error {
 type KLDDetector struct {
 	cfg       KLDConfig
 	hist      *stats.Histogram
-	xProbs    []float64 // the X distribution
-	trainK    []float64 // K_i per training week
+	xProbs    []float64         // the X distribution
+	trainK    []float64         // K_i per training week
+	refWeek   timeseries.Series // final training week, the imputation anchor
 	threshold float64
 	scratch   *sync.Pool // *kldScratch, shared across derived detectors
 }
@@ -172,6 +173,7 @@ func NewKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg KLDConfig) (*KL
 		hist:    hist,
 		xProbs:  hist.Probabilities(),
 		trainK:  make([]float64, matrix.Rows()),
+		refWeek: matrix.Row(matrix.Rows() - 1).Clone(),
 		scratch: &sync.Pool{New: func() any { return &kldScratch{} }},
 	}
 	for i := 0; i < matrix.Rows(); i++ {
@@ -204,6 +206,7 @@ func (d *KLDDetector) WithSignificance(alpha float64) (*KLDDetector, error) {
 		hist:    d.hist,
 		xProbs:  d.xProbs,
 		trainK:  d.trainK, // stats.Percentile copies before sorting
+		refWeek: d.refWeek,
 		scratch: d.scratch,
 	}
 	out.threshold = stats.Percentile(out.trainK, 100*(1-alpha))

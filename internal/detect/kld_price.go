@@ -74,6 +74,7 @@ type PriceKLDDetector struct {
 	hists     []*stats.Histogram // frozen per-tier histograms of X
 	tierProbs [][]float64        // per-tier X distributions
 	trainK    []float64
+	refWeek   timeseries.Series // final training week, the imputation anchor
 	threshold float64
 	scratch   *sync.Pool // *priceKLDScratch, shared across derived detectors
 }
@@ -142,6 +143,7 @@ func NewPriceKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg PriceKLDCo
 		tierSlots: tierSlots,
 		hists:     make([]*stats.Histogram, cfg.NTiers),
 		tierProbs: make([][]float64, cfg.NTiers),
+		refWeek:   matrix.Row(matrix.Rows() - 1).Clone(),
 		scratch:   &sync.Pool{New: func() any { return &priceKLDScratch{} }},
 	}
 	for tier, vals := range tierValues {
@@ -187,6 +189,7 @@ func (d *PriceKLDDetector) WithSignificance(alpha float64) (*PriceKLDDetector, e
 		hists:     d.hists,
 		tierProbs: d.tierProbs,
 		trainK:    d.trainK, // stats.Percentile copies before sorting
+		refWeek:   d.refWeek,
 		scratch:   d.scratch,
 	}
 	out.threshold = stats.Percentile(out.trainK, 100*(1-alpha))

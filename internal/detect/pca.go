@@ -50,6 +50,7 @@ type PCADetector struct {
 	mean       timeseries.Series // column means (the seasonal profile)
 	components [][]float64       // k rows of length 336, orthonormal
 	trainRes   []float64         // residual norms of training weeks
+	refWeek    timeseries.Series // final training week, the imputation anchor
 	threshold  float64
 }
 
@@ -148,7 +149,7 @@ func NewPCADetector(train timeseries.Series, cfg PCAConfig) (*PCADetector, error
 	}
 
 	// Principal directions in R^cols: v_r = Aᵀ u_r / sqrt(λ_r).
-	d := &PCADetector{cfg: cfg, mean: mean}
+	d := &PCADetector{cfg: cfg, mean: mean, refWeek: full.Row(full.Rows() - 1).Clone()}
 	for r := 0; r < k; r++ {
 		i := idx[r]
 		lambda := eigVals[i]

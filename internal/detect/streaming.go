@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/timeseries"
 )
@@ -18,36 +19,110 @@ import (
 // The stream is seeded with a trusted historic week; each Observe replaces
 // the next weekly slot with the live reading and re-evaluates the KLD
 // verdict over the mixed window.
+//
+// Live AMI feeds lose and corrupt readings, so the stream also accepts
+// quality-annotated observations (ObserveStatus): a Missing or Corrupt slot
+// keeps the trusted value already in the window (seasonal carry from the
+// historic seed, or the previous lap's live reading) and counts against the
+// window's coverage. When the fraction of trusted window slots falls below
+// the policy's coverage gate, verdicts are returned Inconclusive instead of
+// definite — a mostly-dead meter must read as *faulty*, not as evidence of
+// theft.
 type StreamingKLD struct {
 	det    *KLDDetector
 	window timeseries.Series
+	bad    []bool // window slots currently holding an imputed stand-in
+	nbad   int
+	policy QualityPolicy
 	pos    int
 	filled int
 }
 
 // NewStream seeds a streaming evaluator with a trusted historic week (336
-// readings), typically the final training week.
+// readings), typically the final training week. The default QualityPolicy
+// governs ObserveStatus; use NewStreamWithPolicy to override it.
 func (d *KLDDetector) NewStream(seedWeek timeseries.Series) (*StreamingKLD, error) {
+	return d.NewStreamWithPolicy(seedWeek, QualityPolicy{})
+}
+
+// NewStreamWithPolicy is NewStream with an explicit quality policy for
+// masked observations. The zero policy selects the package defaults.
+func (d *KLDDetector) NewStreamWithPolicy(seedWeek timeseries.Series, policy QualityPolicy) (*StreamingKLD, error) {
 	if err := validateWeek(seedWeek); err != nil {
+		return nil, err
+	}
+	policy = policy.withDefaults()
+	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
 	return &StreamingKLD{
 		det:    d,
 		window: seedWeek.Clone(),
+		bad:    make([]bool, timeseries.SlotsPerWeek),
+		policy: policy,
 	}, nil
 }
 
 // Observe replaces the next slot of the window with a live reading and
 // returns the verdict over the updated window. After 336 observations the
-// window consists entirely of live data and wraps around.
+// window consists entirely of live data and wraps around. Non-finite or
+// negative readings are rejected outright: a NaN entering the window would
+// poison every verdict for the next 336 observations, and an infinity would
+// degenerate the histogram — callers holding such a reading should report
+// it as corrupt via ObserveStatus instead.
 func (s *StreamingKLD) Observe(v float64) (Verdict, error) {
+	if math.IsNaN(v) {
+		return Verdict{}, fmt.Errorf("detect: non-finite reading NaN")
+	}
+	if math.IsInf(v, 0) {
+		return Verdict{}, fmt.Errorf("detect: non-finite reading %g", v)
+	}
 	if v < 0 {
 		return Verdict{}, fmt.Errorf("detect: negative reading %g", v)
 	}
+	return s.observe(v, timeseries.StatusOK)
+}
+
+// ObserveStatus advances the stream with a quality-annotated reading. For a
+// trusted (StatusOK) reading it behaves exactly like Observe. For a Missing
+// or Corrupt reading the value is discarded: the slot keeps the trusted
+// value already in the window — the seasonal-naive stand-in — and counts
+// against window coverage. Below the coverage gate the verdict is
+// Inconclusive.
+func (s *StreamingKLD) ObserveStatus(v float64, status timeseries.ReadingStatus) (Verdict, error) {
+	switch status {
+	case timeseries.StatusOK:
+		return s.Observe(v)
+	case timeseries.StatusMissing, timeseries.StatusCorrupt, timeseries.StatusImputed:
+		return s.observe(s.window[s.pos], status)
+	default:
+		return Verdict{}, fmt.Errorf("detect: unknown reading status %v", status)
+	}
+}
+
+// observe writes the slot, updates the coverage bookkeeping, and evaluates
+// the window under the coverage gate.
+func (s *StreamingKLD) observe(v float64, status timeseries.ReadingStatus) (Verdict, error) {
+	wasBad := s.bad[s.pos]
+	isBad := status != timeseries.StatusOK
 	s.window[s.pos] = v
+	s.bad[s.pos] = isBad
+	if isBad && !wasBad {
+		s.nbad++
+	} else if !isBad && wasBad {
+		s.nbad--
+	}
 	s.pos = (s.pos + 1) % timeseries.SlotsPerWeek
 	if s.filled < timeseries.SlotsPerWeek {
 		s.filled++
+	}
+	cov := s.Coverage()
+	if cov < s.policy.MinCoverage {
+		return Verdict{
+			Inconclusive: true,
+			Reason: fmt.Sprintf("window coverage %.1f%% below the %.0f%% gate (%d of %d slots untrusted) — verdict inconclusive",
+				100*cov, 100*s.policy.MinCoverage, s.nbad, timeseries.SlotsPerWeek),
+		}, nil
 	}
 	return s.det.Detect(s.window)
 }
@@ -55,6 +130,12 @@ func (s *StreamingKLD) Observe(v float64) (Verdict, error) {
 // Filled returns how many live readings are currently in the window
 // (saturates at 336).
 func (s *StreamingKLD) Filled() int { return s.filled }
+
+// Coverage returns the fraction of window slots holding trusted data: the
+// historic seed and live StatusOK readings count; imputed stand-ins do not.
+func (s *StreamingKLD) Coverage() float64 {
+	return 1 - float64(s.nbad)/timeseries.SlotsPerWeek
+}
 
 // Window returns a copy of the current mixed window.
 func (s *StreamingKLD) Window() timeseries.Series { return s.window.Clone() }

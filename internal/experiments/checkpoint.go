@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpointing makes the multi-hour Table II/III protocol crash-safe: each
+// consumer's finished outcome is appended to a JSON file via an atomic
+// tmp+rename write, and a restarted run with equivalent options resumes
+// from the file instead of re-evaluating. Soundness rests on per-consumer
+// determinism — every consumer's attack draws come from
+// stats.SplitRand(Seed, consumerID), so an outcome computed before a crash
+// is identical to one computed after it, at any parallelism.
+
+// checkpointVersion guards the file layout.
+const checkpointVersion = 1
+
+// checkpointEntry is one consumer's stored result.
+type checkpointEntry struct {
+	ConsumerID int
+	Outcomes   map[DetectorID]map[Scenario]ConsumerOutcome `json:",omitempty"`
+	// Err records a quarantined consumer's failure; such entries are
+	// re-reported (not retried) on resume so a resumed run aggregates to
+	// the same tables.
+	Err string `json:",omitempty"`
+}
+
+// checkpointFile is the on-disk layout.
+type checkpointFile struct {
+	Version int
+	// Fingerprint identifies the option set that produced the entries.
+	// Resuming under different options would silently mix incompatible
+	// results, so a mismatch discards the file.
+	Fingerprint string
+	Done        []checkpointEntry
+}
+
+// fingerprint canonicalizes the options that affect per-consumer outcomes.
+// Parallelism, Strict, and the checkpoint path itself only affect
+// scheduling and error handling, never results, so they are zeroed.
+func fingerprint(opts Options) (string, error) {
+	opts.Parallelism = 0
+	opts.Strict = false
+	opts.Checkpoint = ""
+	b, err := json.Marshal(opts)
+	if err != nil {
+		return "", fmt.Errorf("experiments: fingerprinting options: %w", err)
+	}
+	return string(b), nil
+}
+
+// checkpointer serializes checkpoint writes across evaluation workers.
+type checkpointer struct {
+	mu   sync.Mutex
+	path string
+	file checkpointFile
+}
+
+// newCheckpointer loads an existing checkpoint (when its fingerprint
+// matches) or starts an empty one. The returned map holds the already-done
+// evaluations keyed by consumer ID; nil checkpointer means checkpointing is
+// disabled.
+func newCheckpointer(path string, opts Options) (*checkpointer, map[int]consumerEval, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	fp, err := fingerprint(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp := &checkpointer{
+		path: path,
+		file: checkpointFile{Version: checkpointVersion, Fingerprint: fp},
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cp, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: reading checkpoint %s: %w", path, err)
+	}
+	var onDisk checkpointFile
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		return nil, nil, fmt.Errorf("experiments: checkpoint %s is corrupt: %w", path, err)
+	}
+	if onDisk.Version != checkpointVersion || onDisk.Fingerprint != fp {
+		// Stale checkpoint from a different protocol: start over.
+		return cp, nil, nil
+	}
+	cp.file.Done = onDisk.Done
+	done := make(map[int]consumerEval, len(onDisk.Done))
+	for _, e := range onDisk.Done {
+		ce := consumerEval{id: e.ConsumerID, outcomes: e.Outcomes}
+		if e.Err != "" {
+			ce.err = fmt.Errorf("%s", e.Err)
+		}
+		done[e.ConsumerID] = ce
+	}
+	return cp, done, nil
+}
+
+// record appends one finished consumer and rewrites the file atomically.
+func (cp *checkpointer) record(ce consumerEval) error {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	entry := checkpointEntry{ConsumerID: ce.id, Outcomes: ce.outcomes}
+	if ce.err != nil {
+		entry.Err = ce.err.Error()
+	}
+	cp.file.Done = append(cp.file.Done, entry)
+	sort.Slice(cp.file.Done, func(i, j int) bool {
+		return cp.file.Done[i].ConsumerID < cp.file.Done[j].ConsumerID
+	})
+	return cp.flushLocked()
+}
+
+// flushLocked writes the file via tmp+rename so a crash mid-write never
+// truncates a previously good checkpoint.
+func (cp *checkpointer) flushLocked() error {
+	b, err := json.MarshalIndent(&cp.file, "", " ")
+	if err != nil {
+		return fmt.Errorf("experiments: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(cp.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(cp.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("experiments: writing checkpoint: %w", werr)
+		}
+		return fmt.Errorf("experiments: closing checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), cp.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: committing checkpoint: %w", err)
+	}
+	return nil
+}

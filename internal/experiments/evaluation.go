@@ -9,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/pricing"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -68,6 +69,13 @@ type ConsumerOutcome struct {
 	// FalsePositive is true when the detector flagged the consumer's
 	// normal test week.
 	FalsePositive bool
+	// Inconclusive is true when a verdict was declined for lack of trusted
+	// readings (coverage below the quality gate). The detector has not
+	// caught the attack in that case, so inconclusive outcomes count as
+	// failures for Metric 1 — that is exactly the detection-degradation
+	// effect the fault sweep measures — but the flag lets reports separate
+	// "missed" from "could not judge, meter referred as faulty".
+	Inconclusive bool
 	// StolenKWh is the energy Mallory gains from this consumer in the
 	// attack week if the detector fails (Section VIII-E's full penalty).
 	StolenKWh float64
@@ -98,6 +106,18 @@ func (c *Cell) DetectionRate() float64 {
 		}
 	}
 	return float64(ok) / float64(len(c.Outcomes))
+}
+
+// InconclusiveCount is the number of consumers whose verdicts were
+// declined for lack of trusted readings.
+func (c *Cell) InconclusiveCount() int {
+	n := 0
+	for _, o := range c.Outcomes {
+		if o.Inconclusive {
+			n++
+		}
+	}
+	return n
 }
 
 // TotalStolenKWh sums stolen energy across failed consumers (the paper's
@@ -147,11 +167,21 @@ func (c *Cell) MaxProfitUSD() (usd float64, consumerID int) {
 	return usd, consumerID
 }
 
+// Quarantine records a consumer whose evaluation errored or panicked and
+// was excluded from the tables (non-strict runs only).
+type Quarantine struct {
+	ConsumerID int
+	Err        string
+}
+
 // Evaluation is the complete result set behind Tables II and III.
 type Evaluation struct {
 	Options   Options
 	Consumers int
-	cells     map[DetectorID]map[Scenario]*Cell
+	// Quarantined lists the consumers excluded from the tables because
+	// their evaluation failed, sorted by ID. Empty on a healthy run.
+	Quarantined []Quarantine
+	cells       map[DetectorID]map[Scenario]*Cell
 }
 
 // Cell fetches one detector×scenario cell.
@@ -174,7 +204,34 @@ type consumerEval struct {
 	err      error
 }
 
+// evalHook, when non-nil, runs at the start of every consumer evaluation.
+// It is a test seam: crash-safety tests install a hook that panics for a
+// chosen consumer to prove the worker pool contains the blast radius.
+var evalHook func(c *dataset.Consumer)
+
+// evaluateConsumerSafe runs one consumer's evaluation with panic
+// containment: a panicking detector (or attack model, or hook) becomes an
+// ordinary per-consumer error instead of crashing the whole run.
+func evaluateConsumerSafe(c *dataset.Consumer, opts Options) (ce consumerEval) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce = consumerEval{id: c.ID, err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if evalHook != nil {
+		evalHook(c)
+	}
+	return evaluateConsumer(c, opts)
+}
+
 // RunEvaluation executes the full Table II/III protocol.
+//
+// Failure semantics: by default a consumer whose evaluation errors or
+// panics is quarantined — recorded on Evaluation.Quarantined and excluded
+// from the tables — and the run completes; it fails only when *every*
+// consumer is quarantined. Options.Strict restores fail-fast. When
+// Options.Checkpoint is set, finished consumers are persisted after each
+// completion and an interrupted run resumes where it stopped.
 func RunEvaluation(opts Options) (*Evaluation, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -183,9 +240,17 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Fault.Inject(ds); err != nil {
+		return nil, err
+	}
 	consumers := ds.Consumers
 	if opts.MaxConsumers > 0 && opts.MaxConsumers < len(consumers) {
 		consumers = consumers[:opts.MaxConsumers]
+	}
+
+	cp, resumed, err := newCheckpointer(opts.Checkpoint, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	par := opts.Parallelism
@@ -197,16 +262,28 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	}
 
 	// Workers acquire the semaphore inside their goroutine so the spawn
-	// loop never blocks, and the first consumer error is propagated
-	// immediately: remaining workers see the closed stop channel and exit
-	// before starting their (expensive) evaluation.
+	// loop never blocks. In strict mode the first consumer error is
+	// propagated immediately: remaining workers see the closed stop channel
+	// and exit before starting their (expensive) evaluation. In the default
+	// quarantine mode only infrastructure errors (checkpoint I/O) stop the
+	// run early; consumer failures are collected and reported at the end.
 	evals := make([]consumerEval, len(consumers))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
 	stop := make(chan struct{})
 	errCh := make(chan error, 1)
 	var stopOnce sync.Once
+	abort := func(err error) {
+		stopOnce.Do(func() {
+			errCh <- err
+			close(stop)
+		})
+	}
 	for i := range consumers {
+		if ce, ok := resumed[consumers[i].ID]; ok {
+			evals[i] = ce
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -216,13 +293,14 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			case sem <- struct{}{}:
 			}
 			defer func() { <-sem }()
-			ce := evaluateConsumer(&consumers[i], opts)
+			ce := evaluateConsumerSafe(&consumers[i], opts)
 			evals[i] = ce
-			if ce.err != nil {
-				stopOnce.Do(func() {
-					errCh <- fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err)
-					close(stop)
-				})
+			if ce.err != nil && opts.Strict {
+				abort(fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err))
+				return
+			}
+			if err := cp.record(ce); err != nil {
+				abort(err)
 			}
 		}(i)
 	}
@@ -245,9 +323,30 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	}
 
 	ev := &Evaluation{
-		Options:   opts,
-		Consumers: len(consumers),
-		cells:     make(map[DetectorID]map[Scenario]*Cell),
+		Options: opts,
+		cells:   make(map[DetectorID]map[Scenario]*Cell),
+	}
+	var firstErr error
+	for _, ce := range evals {
+		if ce.err == nil {
+			ev.Consumers++
+			continue
+		}
+		ev.Quarantined = append(ev.Quarantined, Quarantine{ConsumerID: ce.id, Err: ce.err.Error()})
+		if opts.Strict || firstErr == nil {
+			firstErr = fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err)
+		}
+		if opts.Strict {
+			return nil, firstErr
+		}
+	}
+	sort.Slice(ev.Quarantined, func(i, j int) bool {
+		return ev.Quarantined[i].ConsumerID < ev.Quarantined[j].ConsumerID
+	})
+	if ev.Consumers == 0 && firstErr != nil {
+		// Every consumer failed: the run produced nothing, so surface the
+		// failure instead of an empty table.
+		return nil, firstErr
 	}
 	for _, d := range DetectorIDs() {
 		ev.cells[d] = make(map[Scenario]*Cell)
@@ -256,6 +355,9 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 		}
 	}
 	for _, ce := range evals {
+		if ce.err != nil {
+			continue
+		}
 		for d, row := range ce.outcomes {
 			for s, o := range row {
 				cell := ev.cells[d][s]
@@ -288,6 +390,26 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	}
 	if test.Weeks() < 1 {
 		return fail(fmt.Errorf("no test weeks"))
+	}
+	// Quality-annotated populations (fault injection, real AMI imports):
+	// repair the training split by imputation — detectors need a full
+	// history — and carry the test week's mask into detection so verdicts
+	// honour the coverage gate.
+	var normalMask timeseries.Mask
+	if c.Quality != nil {
+		trainMask, testMask, err := c.Quality.Split(opts.TrainWeeks)
+		if err != nil {
+			return fail(fmt.Errorf("quality mask: %w", err))
+		}
+		if !trainMask.AllOK() {
+			train, _, err = timeseries.ImputeSeries(train, trainMask, opts.Quality.Impute)
+			if err != nil {
+				return fail(fmt.Errorf("repairing training split: %w", err))
+			}
+		}
+		if wk := testMask.MustWeek(0); !wk.AllOK() {
+			normalMask = wk
+		}
 	}
 	normalWeek := test.MustWeek(0)
 	attackStart := timeseries.Slot(len(train))
@@ -388,7 +510,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	// variant for the load-shifting column (Section VIII-F3).
 	type detPair struct {
 		id  DetectorID
-		det detect.Detector
+		det detect.MaskedDetector
 	}
 	weekDetectors := []detPair{
 		{DetARIMA, arimaDet},
@@ -442,11 +564,18 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 		gain := gainFor(s)
 		for _, dp := range dets {
 			vec := vectorFor(dp.id, s)
-			attacked, err := dp.det.Detect(vec)
+			// The meter's physical faults corrupt whatever the attacker
+			// programmed it to report, so the observed attack week is the
+			// tampered vector with the same fault pattern overlaid.
+			obsVec, err := fault.Overlay(vec, normalWeek, normalMask)
+			if err != nil {
+				return fail(fmt.Errorf("%s fault overlay: %w", s, err))
+			}
+			attacked, err := dp.det.DetectMasked(obsVec, normalMask, opts.Quality)
 			if err != nil {
 				return fail(fmt.Errorf("%s on %s attack: %w", dp.id, s, err))
 			}
-			normal, err := dp.det.Detect(normalWeek)
+			normal, err := dp.det.DetectMasked(normalWeek, normalMask, opts.Quality)
 			if err != nil {
 				return fail(fmt.Errorf("%s on normal week: %w", dp.id, err))
 			}
@@ -454,6 +583,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 				ConsumerID:    c.ID,
 				Detected:      attacked.Anomalous,
 				FalsePositive: normal.Anomalous,
+				Inconclusive:  attacked.Inconclusive || normal.Inconclusive,
 			}
 			if o.Failed() {
 				kwh, usd, err := gain(vec)

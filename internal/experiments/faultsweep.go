@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// FaultSeedOffset decorrelates fault draws from attack draws: both split
+// their RNG on (seed, meterID), so fault plans derived from an experiment
+// seed add this offset to avoid replaying the attack streams.
+const FaultSeedOffset = 0x5eed
+
+// FaultPoint is one point of the detection-degradation curve: the full
+// Table II protocol evaluated with a given fraction of readings lost.
+type FaultPoint struct {
+	// Rate is the per-slot dropout probability injected into the monitored
+	// weeks (training stays pristine).
+	Rate float64
+	// DetectionRate is Metric 1 per detector×scenario cell at this rate.
+	DetectionRate map[DetectorID]map[Scenario]float64
+	// InconclusiveFrac is the fraction of consumer verdicts declined at the
+	// coverage gate, averaged over the cells (it is mask-driven, so every
+	// cell sees the same consumers gated).
+	InconclusiveFrac float64
+	// Quarantined counts consumers excluded by evaluation failures.
+	Quarantined int
+}
+
+// FaultSweepResult is the full degradation curve.
+type FaultSweepResult struct {
+	Options Options
+	// Scenarios beyond dropout compose into every point when set on
+	// Options.Fault (the sweep varies only the dropout rate).
+	Points []FaultPoint
+}
+
+// RunFaultSweep measures how detection performance (Metric 1) degrades as
+// the missing-data fraction grows: for each rate it injects a seeded
+// dropout plan into the monitored weeks of the same population and re-runs
+// the full evaluation. Rate 0 reproduces the fault-free tables exactly.
+// Extra scenarios already present on opts.Fault (spikes, outages, ...)
+// are kept and applied at every point alongside the swept dropout.
+func RunFaultSweep(opts Options, rates []float64) (*FaultSweepResult, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: fault sweep needs at least one rate")
+	}
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("experiments: dropout rate %g outside [0, 1]", r)
+		}
+	}
+	rates = append([]float64(nil), rates...)
+	sort.Float64s(rates)
+
+	res := &FaultSweepResult{Options: opts}
+	for i, rate := range rates {
+		p := opts
+		p.Fault = faultPlanAt(opts, rate)
+		if p.Checkpoint != "" {
+			// One checkpoint per point: the fingerprint differs per rate, so
+			// sharing a path would discard progress at every step.
+			p.Checkpoint = fmt.Sprintf("%s.rate%d", opts.Checkpoint, i)
+		}
+		ev, err := RunEvaluation(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault sweep at rate %g: %w", rate, err)
+		}
+		pt := FaultPoint{
+			Rate:          rate,
+			DetectionRate: make(map[DetectorID]map[Scenario]float64),
+			Quarantined:   len(ev.Quarantined),
+		}
+		cells, inconclusive, outcomes := 0, 0, 0
+		for _, d := range DetectorIDs() {
+			pt.DetectionRate[d] = make(map[Scenario]float64)
+			for _, s := range Scenarios() {
+				cell, err := ev.Cell(d, s)
+				if err != nil {
+					return nil, err
+				}
+				pt.DetectionRate[d][s] = cell.DetectionRate()
+				cells++
+				inconclusive += cell.InconclusiveCount()
+				outcomes += len(cell.Outcomes)
+			}
+		}
+		if outcomes > 0 {
+			pt.InconclusiveFrac = float64(inconclusive) / float64(outcomes)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// faultPlanAt builds the plan for one sweep point: the caller's scenarios
+// (minus any dropout, which the sweep owns) plus the swept dropout rate,
+// always confined to the monitored weeks.
+func faultPlanAt(opts Options, rate float64) fault.Plan {
+	plan := fault.Plan{
+		Seed:          opts.Seed + FaultSeedOffset,
+		FromWeek:      opts.TrainWeeks,
+		MeterFraction: opts.Fault.MeterFraction,
+	}
+	for _, sc := range opts.Fault.Scenarios {
+		if sc.Kind != fault.Dropout {
+			plan.Scenarios = append(plan.Scenarios, sc)
+		}
+	}
+	if rate > 0 {
+		plan.Scenarios = append(plan.Scenarios, fault.Scenario{Kind: fault.Dropout, Rate: rate})
+	}
+	return plan
+}

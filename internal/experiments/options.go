@@ -26,6 +26,8 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/pricing"
 )
 
@@ -49,6 +51,26 @@ type Options struct {
 	Seed int64
 	// Parallelism bounds concurrent per-consumer evaluations (0 = GOMAXPROCS).
 	Parallelism int
+	// Strict restores fail-fast semantics: the first consumer whose
+	// evaluation errors (or panics) aborts the whole run. The default is to
+	// quarantine the offending consumer, finish everyone else, and report
+	// the quarantine alongside the tables — one pathological trace should
+	// not cost a multi-hour run.
+	Strict bool
+	// Checkpoint is the path of a JSON progress file. When set, each
+	// completed consumer is recorded (atomic write), and a later run with
+	// equivalent options resumes from it instead of re-evaluating. Empty
+	// disables checkpointing.
+	Checkpoint string
+	// Fault optionally injects reading faults into the population before
+	// evaluation (the fault plan's FromWeek keeps training data pristine
+	// when set to TrainWeeks). A zero plan leaves the data untouched and
+	// the results bit-identical to a fault-free run.
+	Fault fault.Plan
+	// Quality governs masked detection of faulted weeks: the coverage gate
+	// below which verdicts are inconclusive and the imputation policy for
+	// gaps above it. The zero value selects the detect package defaults.
+	Quality detect.QualityPolicy
 }
 
 // PaperOptions reproduces the paper's full protocol.
@@ -98,6 +120,12 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("experiments: negative parallelism")
+	}
+	if err := o.Fault.Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if err := o.Quality.Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,401 @@
+// Package fault is a seeded, deterministic fault injector for meter data.
+//
+// Electricity-theft detection papers (including F-DETA) evaluate on clean
+// traces, but real AMI deployments lose readings to radio dropouts, battery
+// failures, firmware bugs, and clock drift. The injector models the common
+// failure modes of a half-hourly metering fleet as composable scenarios:
+//
+//   - Dropout: independent per-slot loss of readings (lossy backhaul).
+//   - Outage: contiguous windows with no readings (dead meter, mains loss).
+//   - StuckAt: windows where the register freezes and repeats one value
+//     (latched register, firmware hang).
+//   - Spike: isolated corrupt readings orders of magnitude too large
+//     (bit flips, unit confusion).
+//   - ClockSlip: windows reported one or more slots late, duplicating
+//     earlier readings (clock drift, retransmission bugs).
+//
+// Faults act on the *reported* stream: the same realized fault pattern
+// applies to a consumer's honest readings and to any attack.Tampered
+// variant of them, so fault injection composes with the attack models.
+// Dropped slots are flagged StatusMissing; stuck, spiked, and slipped
+// slots keep their (wrong) values and are flagged StatusCorrupt — the
+// head-end's plausibility screen is assumed to catch them, but the true
+// value is gone either way.
+//
+// Everything is driven by splittable seeded RNG streams keyed per meter,
+// so a Plan reproduces the same fault pattern for a given (seed, meter)
+// pair regardless of evaluation order or parallelism.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Kind identifies a fault scenario family.
+type Kind int
+
+// Supported fault kinds.
+const (
+	// Dropout loses each slot independently with probability Rate.
+	Dropout Kind = iota
+	// Outage kills contiguous windows of Duration slots, with an expected
+	// Rate windows per week.
+	Outage
+	// StuckAt freezes the register at the window's first value for
+	// Duration slots, with an expected Rate windows per week.
+	StuckAt
+	// Spike multiplies isolated slots by Magnitude with probability Rate.
+	Spike
+	// ClockSlip reports windows of Duration slots one slot late (each slot
+	// duplicates its predecessor), with an expected Rate windows per week.
+	ClockSlip
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Dropout:
+		return "dropout"
+	case Outage:
+		return "outage"
+	case StuckAt:
+		return "stuckat"
+	case Spike:
+		return "spike"
+	case ClockSlip:
+		return "clockslip"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Scenario is one fault process. Scenarios compose: a Plan applies each in
+// order, and the first scenario to claim a slot wins.
+type Scenario struct {
+	Kind Kind
+	// Rate is the per-slot probability (Dropout, Spike) or the expected
+	// number of fault windows per week (Outage, StuckAt, ClockSlip).
+	Rate float64
+	// Duration is the window length in slots for windowed kinds
+	// (default timeseries.SlotsPerDay for Outage/StuckAt, 4 for ClockSlip).
+	Duration int
+	// Magnitude is the Spike multiplier (default 10).
+	Magnitude float64
+}
+
+// withDefaults fills zero fields with the kind's defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Duration == 0 {
+		switch s.Kind {
+		case Outage, StuckAt:
+			s.Duration = timeseries.SlotsPerDay
+		case ClockSlip:
+			s.Duration = 4
+		}
+	}
+	if s.Magnitude == 0 && s.Kind == Spike {
+		s.Magnitude = 10
+	}
+	return s
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	switch s.Kind {
+	case Dropout, Outage, StuckAt, Spike, ClockSlip:
+	default:
+		return fmt.Errorf("fault: unknown kind %v", s.Kind)
+	}
+	if s.Rate < 0 {
+		return fmt.Errorf("fault: %s rate %g is negative", s.Kind, s.Rate)
+	}
+	if (s.Kind == Dropout || s.Kind == Spike) && s.Rate > 1 {
+		return fmt.Errorf("fault: %s rate %g outside [0, 1]", s.Kind, s.Rate)
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("fault: %s duration %d is negative", s.Kind, s.Duration)
+	}
+	if s.Kind == Spike && s.Magnitude < 0 {
+		return fmt.Errorf("fault: spike magnitude %g is negative", s.Magnitude)
+	}
+	return nil
+}
+
+// String renders the scenario in the CLI spec grammar (see Parse).
+func (s Scenario) String() string {
+	s = s.withDefaults()
+	switch s.Kind {
+	case Spike:
+		return fmt.Sprintf("%s:%g,%g", s.Kind, s.Rate, s.Magnitude)
+	case Dropout:
+		return fmt.Sprintf("%s:%g", s.Kind, s.Rate)
+	default:
+		return fmt.Sprintf("%s:%g,%d", s.Kind, s.Rate, s.Duration)
+	}
+}
+
+// Plan is a composed fault workload over a meter population.
+type Plan struct {
+	// Seed drives every random draw. The per-meter stream is
+	// stats.SplitRand(Seed, meterID), so patterns are reproducible and
+	// independent of iteration order.
+	Seed int64
+	// Scenarios are applied in order; the first to claim a slot wins.
+	Scenarios []Scenario
+	// FromWeek is the first week index (0-based) eligible for faults.
+	// Evaluation sweeps set it to the training length so training data
+	// stays pristine and only the monitored weeks degrade.
+	FromWeek int
+	// MeterFraction is the fraction of meters affected (default 1). Each
+	// meter's inclusion is its stream's first draw.
+	MeterFraction float64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return len(p.Scenarios) > 0 }
+
+func (p Plan) withDefaults() Plan {
+	if p.MeterFraction == 0 {
+		p.MeterFraction = 1
+	}
+	scens := make([]Scenario, len(p.Scenarios))
+	for i, s := range p.Scenarios {
+		scens[i] = s.withDefaults()
+	}
+	p.Scenarios = scens
+	return p
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	for i, s := range p.Scenarios {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("fault: scenario %d: %w", i, err)
+		}
+	}
+	if p.FromWeek < 0 {
+		return fmt.Errorf("fault: from-week %d is negative", p.FromWeek)
+	}
+	if p.MeterFraction < 0 || p.MeterFraction > 1 {
+		return fmt.Errorf("fault: meter fraction %g outside [0, 1]", p.MeterFraction)
+	}
+	return nil
+}
+
+// String renders the plan's scenarios in the CLI spec grammar.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	out := ""
+	for i, s := range p.Scenarios {
+		if i > 0 {
+			out += "+"
+		}
+		out += s.String()
+	}
+	return out
+}
+
+// slotAction is the realized fault at one slot.
+type slotAction struct {
+	kind  Kind
+	param float64 // Spike multiplier
+	src   int     // StuckAt/ClockSlip: slot whose value is reported instead
+}
+
+// Realization is one concrete draw of a Plan over a span of slots for a
+// single meter stream. Applying the same realization to different series
+// (the honest readings and a tampered variant of them) yields consistent
+// fault patterns, which is what a physical meter fault would do.
+type Realization struct {
+	actions []slotAction
+	bad     int
+}
+
+// Realize draws the fault pattern for one meter stream over n slots.
+// The key is typically the meter ID; the same (plan, key, n) triple always
+// yields the same realization. A meter excluded by MeterFraction gets an
+// empty realization.
+func (p Plan) Realize(key int64, n int) (*Realization, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("fault: negative span %d", n)
+	}
+	r := &Realization{actions: make([]slotAction, n)}
+	for i := range r.actions {
+		r.actions[i].kind = -1
+	}
+	rng := stats.SplitRand(p.Seed, key)
+	if rng.Float64() >= p.MeterFraction {
+		return r, nil // meter not selected; stream consumed deterministically
+	}
+	weeks := float64(n) / timeseries.SlotsPerWeek
+	claim := func(i int, a slotAction) {
+		if i < 0 || i >= n || r.actions[i].kind >= 0 {
+			return
+		}
+		r.actions[i] = a
+		r.bad++
+	}
+	for _, sc := range p.Scenarios {
+		switch sc.Kind {
+		case Dropout:
+			for i := 0; i < n; i++ {
+				if rng.Float64() < sc.Rate {
+					claim(i, slotAction{kind: Dropout})
+				}
+			}
+		case Spike:
+			for i := 0; i < n; i++ {
+				if rng.Float64() < sc.Rate {
+					claim(i, slotAction{kind: Spike, param: sc.Magnitude})
+				}
+			}
+		case Outage, StuckAt, ClockSlip:
+			windows := poissonCount(rng, sc.Rate*weeks)
+			for w := 0; w < windows; w++ {
+				start := rng.Intn(n)
+				for j := 0; j < sc.Duration; j++ {
+					switch sc.Kind {
+					case Outage:
+						claim(start+j, slotAction{kind: Outage})
+					case StuckAt:
+						claim(start+j, slotAction{kind: StuckAt, src: start})
+					case ClockSlip:
+						src := start + j - 1
+						if src < 0 {
+							src = 0
+						}
+						claim(start+j, slotAction{kind: ClockSlip, src: src})
+					}
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// poissonCount draws a Poisson(mean) count by inversion; fault window
+// counts are tiny, so the linear search is fine.
+func poissonCount(rng interface{ Float64() float64 }, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's product method: count multiplications until the product of
+	// uniforms drops below e^-mean.
+	limit := math.Exp(-mean)
+	k := 0
+	prod := rng.Float64()
+	for prod > limit {
+		k++
+		prod *= rng.Float64()
+	}
+	return k
+}
+
+// Bad returns how many slots the realization faults.
+func (r *Realization) Bad() int { return r.bad }
+
+// Len returns the realized span length in slots.
+func (r *Realization) Len() int { return len(r.actions) }
+
+// Apply overlays the realized faults on a reported series, returning the
+// observed series and its quality mask. The input is not modified. The
+// series must be at least as long as the realization; faults land on its
+// trailing r.Len() slots (so a realization drawn for the monitored span
+// applies cleanly to a full history whose head is the pristine training
+// prefix).
+func (r *Realization) Apply(s timeseries.Series) (timeseries.Series, timeseries.Mask, error) {
+	if len(s) < len(r.actions) {
+		return nil, nil, fmt.Errorf("fault: series has %d slots, realization needs >= %d", len(s), len(r.actions))
+	}
+	out := s.Clone()
+	mask := timeseries.NewMask(len(s))
+	off := len(s) - len(r.actions)
+	for i, a := range r.actions {
+		j := off + i
+		switch a.kind {
+		case Dropout, Outage:
+			out[j] = 0
+			mask[j] = timeseries.StatusMissing
+		case Spike:
+			out[j] = s[j] * a.param
+			mask[j] = timeseries.StatusCorrupt
+		case StuckAt, ClockSlip:
+			out[j] = s[off+a.src]
+			mask[j] = timeseries.StatusCorrupt
+		}
+	}
+	return out, mask, nil
+}
+
+// Overlay composes an observed fault pattern with a tampered week: faults
+// act on the meter's *reported* stream, so whatever the attacker programmed
+// the meter to say is lost where the channel dropped (Missing reads 0) and
+// overridden where the hardware misbehaved (Corrupt slots deliver the
+// observed faulted value — a stuck register reports its frozen value no
+// matter what firmware tampering intended). Trusted slots keep the
+// tampered value. The inputs are not modified.
+func Overlay(tampered, observed timeseries.Series, mask timeseries.Mask) (timeseries.Series, error) {
+	if len(mask) == 0 || mask.AllOK() {
+		return tampered, nil
+	}
+	if len(tampered) != len(observed) || len(tampered) != len(mask) {
+		return nil, fmt.Errorf("fault: overlay lengths disagree: tampered %d, observed %d, mask %d",
+			len(tampered), len(observed), len(mask))
+	}
+	out := tampered.Clone()
+	for i, st := range mask {
+		switch st {
+		case timeseries.StatusMissing:
+			out[i] = 0
+		case timeseries.StatusCorrupt:
+			out[i] = observed[i]
+		}
+	}
+	return out, nil
+}
+
+// Inject applies the plan to every consumer of a dataset in place:
+// Demand becomes the observed (faulted) readings and Quality records the
+// per-slot status. Weeks before FromWeek stay pristine. Injection is
+// deterministic per (Seed, consumer ID) and independent of consumer order.
+func (p Plan) Inject(ds *dataset.Dataset) error {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	for i := range ds.Consumers {
+		c := &ds.Consumers[i]
+		span := len(c.Demand) - p.FromWeek*timeseries.SlotsPerWeek
+		if span <= 0 {
+			continue
+		}
+		r, err := p.Realize(int64(c.ID), span)
+		if err != nil {
+			return fmt.Errorf("fault: consumer %d: %w", c.ID, err)
+		}
+		if r.Bad() == 0 {
+			continue
+		}
+		obs, mask, err := r.Apply(c.Demand)
+		if err != nil {
+			return fmt.Errorf("fault: consumer %d: %w", c.ID, err)
+		}
+		c.Demand = obs
+		c.Quality = mask
+	}
+	return nil
+}

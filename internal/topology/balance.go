@@ -21,6 +21,13 @@ type Snapshot struct {
 	// compromised balance meter reports whatever value makes its check
 	// pass, which is the attacker's optimal play.
 	CompromisedMeters map[string]bool
+	// ConsumerCoverage is the fraction of trusted readings each consumer's
+	// meter delivered over the polling period (a timeseries.Mask.Coverage
+	// value). Consumers absent from the map are assumed fully covered.
+	// Localization uses it to implement the Section V-B distinction: a
+	// meter that barely reports is *faulty* and referred for repair, not
+	// treated as evidence of theft.
+	ConsumerCoverage map[string]float64
 }
 
 // NewSnapshot returns an empty snapshot ready for population.
@@ -30,7 +37,20 @@ func NewSnapshot() *Snapshot {
 		ConsumerReported:  make(map[string]float64),
 		LossCalc:          make(map[string]float64),
 		CompromisedMeters: make(map[string]bool),
+		ConsumerCoverage:  make(map[string]float64),
 	}
+}
+
+// Coverage returns the trusted-reading fraction for a consumer, defaulting
+// to 1 (fully covered) when unrecorded.
+func (s *Snapshot) Coverage(id string) float64 {
+	if s.ConsumerCoverage == nil {
+		return 1
+	}
+	if c, ok := s.ConsumerCoverage[id]; ok {
+		return c
+	}
+	return 1
 }
 
 // ActualDemand returns the physical demand D_N(t) at the node: for leaves,
@@ -90,11 +110,18 @@ type BalanceChecker struct {
 	AbsTol float64
 	// RelTol is the mismatch tolerance relative to the node's demand.
 	RelTol float64
+	// MinCoverage is the trusted-reading fraction below which an implicated
+	// consumer's meter is classified as faulty rather than compromised
+	// (Section V-B): its readings are too sparse to support a theft
+	// accusation, so localization routes it to Investigation.Faulty for
+	// repair instead of Suspects. Zero disables the distinction.
+	MinCoverage float64
 }
 
-// DefaultChecker matches the paper's measurement-accuracy assumption.
+// DefaultChecker matches the paper's measurement-accuracy assumption and
+// the detect package's coverage gate.
 func DefaultChecker() BalanceChecker {
-	return BalanceChecker{AbsTol: 1e-6, RelTol: 0.02}
+	return BalanceChecker{AbsTol: 1e-6, RelTol: 0.02, MinCoverage: 0.75}
 }
 
 // Check runs the balance check (Eq. 5) at one node. The node must be an

@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fig2Snapshot builds a balanced Fig. 2 snapshot: every consumer draws
+// 2 kW and reports honestly, losses are small and calculated exactly.
+func fig2Snapshot(t *testing.T, tr *Tree) *Snapshot {
+	t.Helper()
+	snap := NewSnapshot()
+	for _, c := range tr.Consumers() {
+		snap.ConsumerActual[c.ID] = 2
+		snap.ConsumerReported[c.ID] = 2
+	}
+	for _, id := range []string{"L1", "L2", "L3"} {
+		snap.LossCalc[id] = 0.05
+	}
+	return snap
+}
+
+// TestLocalizeDeepestClassifiesFaultyMeter: a consumer implicated by a
+// failing balance check whose meter delivered almost no trusted readings
+// must be referred as faulty, not accused as a theft suspect.
+func TestLocalizeDeepestClassifiesFaultyMeter(t *testing.T) {
+	tr, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fig2Snapshot(t, tr)
+	// C1's meter is mostly dead: it reported only 30% of the week's slots,
+	// and the head-end filled the rest with zeros — the balance check at N2
+	// fails, but the cause is the fault, not theft.
+	snap.ConsumerReported["C1"] = 0.6
+	snap.ConsumerCoverage["C1"] = 0.3
+
+	inv, err := LocalizeDeepest(tr, DefaultChecker(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inv.Faulty, []string{"C1"}) {
+		t.Errorf("Faulty = %v, want [C1]", inv.Faulty)
+	}
+	// C2 and C3 share the implicated neighbourhood but have healthy meters:
+	// they stay suspects; C1 must not double-count.
+	if !reflect.DeepEqual(inv.Suspects, []string{"C2", "C3"}) {
+		t.Errorf("Suspects = %v, want [C2 C3]", inv.Suspects)
+	}
+}
+
+// TestLocalizeDeepestHealthyCoverageStaysSuspect: the same mismatch with a
+// healthy meter is a theft suspect — coverage is the only discriminator.
+func TestLocalizeDeepestHealthyCoverageStaysSuspect(t *testing.T) {
+	tr, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fig2Snapshot(t, tr)
+	snap.ConsumerReported["C1"] = 0.6
+	snap.ConsumerCoverage["C1"] = 0.95
+
+	inv, err := LocalizeDeepest(tr, DefaultChecker(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Faulty) != 0 {
+		t.Errorf("Faulty = %v, want none at 95%% coverage", inv.Faulty)
+	}
+	if !reflect.DeepEqual(inv.Suspects, []string{"C1", "C2", "C3"}) {
+		t.Errorf("Suspects = %v, want [C1 C2 C3]", inv.Suspects)
+	}
+}
+
+// TestServicemanSearchClassifiesFaultyMeter: the Case 2 BFS makes the same
+// faulty-vs-compromised call at the consumer service drop.
+func TestServicemanSearchClassifiesFaultyMeter(t *testing.T) {
+	tr, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fig2Snapshot(t, tr)
+	snap.ConsumerReported["C1"] = 0.6
+	snap.ConsumerCoverage["C1"] = 0.1
+	snap.ConsumerReported["C4"] = 0.6 // healthy meter, real mismatch
+
+	inv, err := ServicemanSearch(tr, DefaultChecker(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inv.Faulty, []string{"C1"}) {
+		t.Errorf("Faulty = %v, want [C1]", inv.Faulty)
+	}
+	if !reflect.DeepEqual(inv.Suspects, []string{"C4"}) {
+		t.Errorf("Suspects = %v, want [C4]", inv.Suspects)
+	}
+}
+
+// TestCoverageGateDisabled: MinCoverage 0 keeps the historical behaviour —
+// everyone implicated is a suspect.
+func TestCoverageGateDisabled(t *testing.T) {
+	tr, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fig2Snapshot(t, tr)
+	snap.ConsumerReported["C1"] = 0.6
+	snap.ConsumerCoverage["C1"] = 0.1
+
+	bc := DefaultChecker()
+	bc.MinCoverage = 0
+	inv, err := LocalizeDeepest(tr, bc, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Faulty) != 0 {
+		t.Errorf("Faulty = %v, want none with the gate disabled", inv.Faulty)
+	}
+	if !reflect.DeepEqual(inv.Suspects, []string{"C1", "C2", "C3"}) {
+		t.Errorf("Suspects = %v, want [C1 C2 C3]", inv.Suspects)
+	}
+}
+
+// TestSnapshotCoverageDefaults: unknown consumers and nil maps read as
+// fully covered.
+func TestSnapshotCoverageDefaults(t *testing.T) {
+	s := NewSnapshot()
+	if got := s.Coverage("anyone"); got != 1 {
+		t.Errorf("Coverage(unknown) = %g, want 1", got)
+	}
+	s.ConsumerCoverage["m"] = 0.4
+	if got := s.Coverage("m"); got != 0.4 {
+		t.Errorf("Coverage(m) = %g, want 0.4", got)
+	}
+	var bare Snapshot
+	if got := bare.Coverage("x"); got != 1 {
+		t.Errorf("nil-map Coverage = %g, want 1", got)
+	}
+}

@@ -12,12 +12,28 @@ type Investigation struct {
 	// Suspects are the consumer IDs in the neighbourhoods implicated by the
 	// failing checks, in sorted order.
 	Suspects []string
+	// Faulty are implicated consumers whose meters delivered too few
+	// trusted readings (coverage below BalanceChecker.MinCoverage) to
+	// support a theft accusation. Per Section V-B they are referred for
+	// meter repair, not manual theft inspection, and are disjoint from
+	// Suspects. Sorted order.
+	Faulty []string
 	// NodesVisited counts the internal nodes whose state the procedure
 	// examined (meters read, or serviceman measurements taken).
 	NodesVisited int
 	// DeepestFailures are the IDs of the deepest failing metered nodes
 	// (Case 1 only).
 	DeepestFailures []string
+}
+
+// classify routes an implicated consumer to the suspect or faulty set
+// depending on its reading coverage.
+func classify(bc BalanceChecker, s *Snapshot, id string, suspects, faulty map[string]bool) {
+	if s.Coverage(id) < bc.MinCoverage {
+		faulty[id] = true
+	} else {
+		suspects[id] = true
+	}
 }
 
 // LocalizeDeepest implements Case 1 of Section V-C: with every internal node
@@ -31,6 +47,7 @@ func LocalizeDeepest(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, er
 	}
 	inv := Investigation{NodesVisited: len(results)}
 	suspectSet := make(map[string]bool)
+	faultySet := make(map[string]bool)
 	for id, r := range results {
 		if r.Pass {
 			continue
@@ -62,14 +79,18 @@ func LocalizeDeepest(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, er
 				}
 			}
 			for _, cons := range DescendantConsumers(c) {
-				suspectSet[cons.ID] = true
+				classify(bc, s, cons.ID, suspectSet, faultySet)
 			}
 		}
 	}
 	for id := range suspectSet {
 		inv.Suspects = append(inv.Suspects, id)
 	}
+	for id := range faultySet {
+		inv.Faulty = append(inv.Faulty, id)
+	}
 	sort.Strings(inv.Suspects)
+	sort.Strings(inv.Faulty)
 	sort.Strings(inv.DeepestFailures)
 	return inv, nil
 }
@@ -84,6 +105,7 @@ func LocalizeDeepest(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, er
 func ServicemanSearch(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, error) {
 	inv := Investigation{}
 	suspectSet := make(map[string]bool)
+	faultySet := make(map[string]bool)
 
 	queue := []*Node{t.Root}
 	for len(queue) > 0 {
@@ -102,7 +124,7 @@ func ServicemanSearch(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, e
 				reported := s.ConsumerReported[c.ID]
 				tol := bc.AbsTol + bc.RelTol*actual
 				if diff := actual - reported; diff > tol || diff < -tol {
-					suspectSet[c.ID] = true
+					classify(bc, s, c.ID, suspectSet, faultySet)
 				}
 			case Internal:
 				actual := s.ActualDemand(c) // portable meter: physical truth
@@ -117,7 +139,11 @@ func ServicemanSearch(t *Tree, bc BalanceChecker, s *Snapshot) (Investigation, e
 	for id := range suspectSet {
 		inv.Suspects = append(inv.Suspects, id)
 	}
+	for id := range faultySet {
+		inv.Faulty = append(inv.Faulty, id)
+	}
 	sort.Strings(inv.Suspects)
+	sort.Strings(inv.Faulty)
 	return inv, nil
 }
 
