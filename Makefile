@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-quick fuzz faults-smoke verify
+.PHONY: build test vet fmt-check race race-hot bench bench-quick fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check: fail on gofmt drift without rewriting anything.
+fmt-check:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
+
+# race-hot: targeted race pass over the concurrency-heavy packages — the
+# lock-free obs registry, the AMI head-end connection pool, and the
+# evaluation worker pool. Fast enough to run on every iteration; `race`
+# covers the whole tree.
+race-hot:
+	$(GO) test -race -count=1 ./internal/obs ./internal/ami ./internal/experiments
 
 # bench-quick: one pass over the hot-path microbenchmarks — enough to catch
 # a gross perf/allocation regression without a full benchmark session.
@@ -34,7 +46,8 @@ fuzz:
 faults-smoke:
 	$(GO) run ./cmd/fdeta faults -consumers 4 -trials 2 -rates 0,0.3
 
-# verify: the gate for every PR — build, vet, the race detector across the
-# parallel order selection and evaluation pool, the quick benchmarks, the
-# fuzz passes, and the fault-injection smoke run.
-verify: build vet race bench-quick fuzz faults-smoke
+# verify: the gate for every PR — build, vet, gofmt drift, the targeted
+# race pass over the obs/ami/experiments concurrency surfaces plus the
+# full-tree race detector, the quick benchmarks, the fuzz passes, and the
+# fault-injection smoke run.
+verify: build vet fmt-check race-hot race bench-quick fuzz faults-smoke

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ami"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string, out io.Writer) int {
 	maxConns := fs.Int("max-conns", ami.DefaultMaxConns, "concurrent meter connection limit")
 	idleTimeout := fs.Duration("idle-timeout", ami.DefaultIdleTimeout, "per-connection idle read deadline")
 	drain := fs.Duration("drain", ami.DefaultDrainTimeout, "shutdown grace before force-closing connections")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,11 +50,22 @@ func run(args []string, out io.Writer) int {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
 
-	head := ami.NewHeadEndWith(ami.HeadEndConfig{
-		MaxConns:     *maxConns,
-		IdleTimeout:  *idleTimeout,
-		DrainTimeout: *drain,
-	})
+	head := ami.New(
+		ami.WithMaxConns(*maxConns),
+		ami.WithIdleTimeout(*idleTimeout),
+		ami.WithDrainTimeout(*drain),
+	)
+	if *metricsAddr != "" {
+		// Export the head-end's own registry: /metrics counters are exactly
+		// the ones behind head.Stats().
+		srv, err := obs.ServeAdmin(*metricsAddr, head.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amiserver:", err)
+			return 1
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(out, "amiserver: admin endpoint on http://%s/metrics\n", srv.Addr())
+	}
 	bound, err := head.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amiserver:", err)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"regexp"
 	"strings"
 	"sync"
@@ -141,6 +143,77 @@ func TestAmiserverSIGTERMWithIdleConnExitsWithinDrain(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "forced closes") {
 		t.Errorf("final stats line missing: %q", out.String())
+	}
+}
+
+// TestAmiserverMetricsEndpoint is the PR's acceptance scenario: with
+// -metrics-addr set the server exposes /metrics, and its ingest counters
+// agree with the HeadEnd.Stats() line printed on exit.
+func TestAmiserverMetricsEndpoint(t *testing.T) {
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-duration", "600ms", "-stats", "1h"}, &out)
+	}()
+
+	var addr, metricsAddr string
+	reAddr := regexp.MustCompile(`listening on (\S+)`)
+	reMetrics := regexp.MustCompile(`admin endpoint on http://(\S+)/metrics`)
+	deadline := time.After(5 * time.Second)
+	for addr == "" || metricsAddr == "" {
+		select {
+		case <-deadline:
+			t.Fatalf("server never reported its addresses: %q", out.String())
+		default:
+		}
+		if m := reAddr.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		}
+		if m := reMetrics.FindStringSubmatch(out.String()); m != nil {
+			metricsAddr = m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c, err := ami.Dial(addr, "m1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 7; s++ {
+		if err := c.Send(meter.Reading{MeterID: "m1", Slot: ts.Slot(s), KW: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics returned %d: %s", resp.StatusCode, body)
+	}
+	if want := "fdeta_ami_readings_accepted_total 7"; !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing %q:\n%s", want, body)
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exited %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit on schedule")
+	}
+	// The stats line on exit reads from the same registry.
+	if !strings.Contains(out.String(), "7 readings accepted") {
+		t.Errorf("final stats disagree with /metrics: %q", out.String())
 	}
 }
 

@@ -21,11 +21,11 @@ import (
 
 // BenchResult is one benchmark's record in a BENCH_<date>.json report.
 type BenchResult struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 	// Metrics carries headline numbers reported via b.ReportMetric (e.g.
 	// detection rates), so a perf regression that also changes results is
 	// visible in the same file.
@@ -48,6 +48,7 @@ type BenchReport struct {
 // testing.Benchmark) and writes a BENCH_<date>.json trajectory record.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	rf := bindRunFlags(fs)
 	full := fs.Bool("full", false, "benchmark the paper's full protocol (500 consumers, 50 trials)")
 	label := fs.String("label", "", "free-form label recorded in the report (e.g. a commit id)")
 	dir := fs.String("dir", "results/bench", "directory for the default output path")
@@ -208,25 +209,31 @@ func cmdBench(args []string) error {
 		Protocol:   protocol,
 		Label:      *label,
 	}
-	for _, bm := range benches {
-		fmt.Printf("benchmarking %-22s ", bm.name)
-		r := testing.Benchmark(bm.fn)
-		res := BenchResult{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		if len(r.Extra) > 0 {
-			res.Metrics = make(map[string]float64, len(r.Extra))
-			for k, v := range r.Extra {
-				res.Metrics[k] = v
+	err = rf.run(func() error {
+		for _, bm := range benches {
+			fmt.Printf("benchmarking %-22s ", bm.name)
+			r := testing.Benchmark(bm.fn)
+			res := BenchResult{
+				Name:        bm.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
 			}
+			if len(r.Extra) > 0 {
+				res.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					res.Metrics[k] = v
+				}
+			}
+			report.Results = append(report.Results, res)
+			fmt.Printf("%12.0f ns/op  %8d allocs/op  %10d B/op\n",
+				res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 		}
-		report.Results = append(report.Results, res)
-		fmt.Printf("%12.0f ns/op  %8d allocs/op  %10d B/op\n",
-			res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	path := *out

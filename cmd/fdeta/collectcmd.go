@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/meter"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -25,6 +26,7 @@ import (
 // that every collected series is dense.
 func cmdCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	rf := bindRunFlags(fs)
 	meters := fs.Int("meters", 8, "number of concurrent meter clients")
 	slots := fs.Int("slots", timeseries.SlotsPerDay, "readings per meter")
 	seed := fs.Int64("seed", 2016, "synthetic neighbourhood seed")
@@ -53,23 +55,38 @@ func cmdCollect(args []string) error {
 		return err
 	}
 
-	head := ami.NewHeadEndWith(ami.HeadEndConfig{
-		MaxConns:     *maxConns,
-		IdleTimeout:  *idleTimeout,
-		DrainTimeout: *drain,
+	headOpts := []ami.Option{
+		ami.WithMaxConns(*maxConns),
+		ami.WithIdleTimeout(*idleTimeout),
+		ami.WithDrainTimeout(*drain),
+	}
+	if rf.metricsAddr != "" {
+		// The admin endpoint serves the process default registry; point the
+		// head-end's ingest counters at it so they are scrapeable live.
+		headOpts = append(headOpts, ami.WithMetrics(obs.Default()))
+	}
+	head := ami.New(headOpts...)
+	return rf.run(func() error {
+		return runCollect(head, ds, plan, *meters, *slots, *retries, *maxConns, *idleTimeout, *drain)
 	})
+}
+
+// runCollect is the collection harness body; the shared run wrapper keeps
+// the admin endpoint alive for exactly the collection's duration.
+func runCollect(head *ami.HeadEnd, ds *dataset.Dataset, plan fault.Plan,
+	meterCount, slotCount, retries, maxConns int, idleTimeout, drain time.Duration) error {
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("collect: head-end on %s (max-conns %d, idle-timeout %s, drain %s)\n",
-		addr, *maxConns, *idleTimeout, *drain)
+		addr, maxConns, idleTimeout, drain)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	start := time.Now()
-	errc := make(chan error, *meters)
+	errc := make(chan error, meterCount)
 	var dropped, corrupted atomic.Int64
 	var wg sync.WaitGroup
 	for i := range ds.Consumers {
@@ -81,10 +98,10 @@ func cmdCollect(args []string) error {
 			// Faults hit the reported stream: the realization rewrites the
 			// register values (spikes, stuck windows) and marks the slots
 			// the backhaul lost, which the client then never sends.
-			series := c.Demand[:*slots]
+			series := c.Demand[:slotCount]
 			mask := timeseries.Mask(nil)
 			if plan.Enabled() {
-				r, err := plan.Realize(int64(c.ID), *slots)
+				r, err := plan.Realize(int64(c.ID), slotCount)
 				if err != nil {
 					errc <- err
 					return
@@ -100,13 +117,13 @@ func cmdCollect(args []string) error {
 				errc <- err
 				return
 			}
-			rc, err := ami.NewReliableClient(addr, id, nil, 5*time.Second, *retries, 50*time.Millisecond)
+			rc, err := ami.NewReliableClient(addr, id, nil, 5*time.Second, retries, 50*time.Millisecond)
 			if err != nil {
 				errc <- err
 				return
 			}
 			defer func() { _ = rc.Close() }()
-			readings, err := m.ReportRange(0, *slots)
+			readings, err := m.ReportRange(0, slotCount)
 			if err != nil {
 				errc <- err
 				return
@@ -143,7 +160,7 @@ func cmdCollect(args []string) error {
 	// applies on the fault-free path.
 	if !plan.Enabled() {
 		for _, id := range head.Meters() {
-			if _, err := head.Series(id, *slots); err != nil {
+			if _, err := head.Series(id, slotCount); err != nil {
 				_ = head.Close()
 				return err
 			}
@@ -154,9 +171,9 @@ func cmdCollect(args []string) error {
 	}
 
 	st := head.Stats()
-	total := int64(*meters)*int64(*slots) - dropped.Load()
+	total := int64(meterCount)*int64(slotCount) - dropped.Load()
 	fmt.Printf("collect: %d meters delivered %d/%d readings in %s (%.0f readings/s)\n",
-		*meters, st.Accepted, total, elapsed.Round(time.Millisecond),
+		meterCount, st.Accepted, total, elapsed.Round(time.Millisecond),
 		float64(st.Accepted)/elapsed.Seconds())
 	fmt.Printf("collect: conns %d total, %d limit-rejected; readings %d rejected, %d auth-failed; %d idle-timeouts, %d forced closes\n",
 		st.TotalConns, st.LimitRejected, st.Rejected, st.AuthFailed, st.IdleTimeouts, st.ForcedCloses)

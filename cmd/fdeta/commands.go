@@ -4,8 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -15,8 +13,10 @@ import (
 	"repro/internal/topology"
 )
 
-// evalFlags holds the flags shared by the evaluation-driven subcommands.
+// evalFlags holds the flags shared by the evaluation-driven subcommands,
+// composing the profiling/metrics flags every long-running command binds.
 type evalFlags struct {
+	*runFlags
 	full        bool
 	consumers   int
 	trials      int
@@ -25,12 +25,10 @@ type evalFlags struct {
 	strict      bool
 	checkpoint  string
 	faultSpec   string
-	cpuprofile  string
-	memprofile  string
 }
 
 func bindEvalFlags(fs *flag.FlagSet) *evalFlags {
-	ef := &evalFlags{}
+	ef := &evalFlags{runFlags: bindRunFlags(fs)}
 	fs.BoolVar(&ef.full, "full", false, "run the paper's full protocol (500 consumers, 74 weeks, 50 trials)")
 	fs.IntVar(&ef.consumers, "consumers", 0, "cap the number of consumers evaluated (0 = all)")
 	fs.IntVar(&ef.trials, "trials", 0, "override the attack trial count")
@@ -39,8 +37,6 @@ func bindEvalFlags(fs *flag.FlagSet) *evalFlags {
 	fs.BoolVar(&ef.strict, "strict", false, "abort on the first consumer evaluation failure instead of quarantining it")
 	fs.StringVar(&ef.checkpoint, "checkpoint", "", "JSON checkpoint path: per-consumer results are flushed as they finish, and rerunning with the same settings resumes from them")
 	fs.StringVar(&ef.faultSpec, "fault", "", "inject meter faults into the monitored weeks, e.g. 'dropout:0.1+spike:0.01,20' (kinds: dropout, outage, stuckat, spike, clockslip)")
-	fs.StringVar(&ef.cpuprofile, "cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with `go tool pprof`)")
-	fs.StringVar(&ef.memprofile, "memprofile", "", "write a post-evaluation heap profile to this file (inspect with `go tool pprof`)")
 	return ef
 }
 
@@ -75,39 +71,9 @@ func (ef *evalFlags) options() (experiments.Options, error) {
 	return opts, nil
 }
 
-// run executes the evaluation body with optional CPU/heap profiling wrapped
-// around it, per the -cpuprofile/-memprofile flags.
-func (ef *evalFlags) run(body func() error) error {
-	if ef.cpuprofile != "" {
-		f, err := os.Create(ef.cpuprofile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer func() { _ = f.Close() }()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if err := body(); err != nil {
-		return err
-	}
-	if ef.memprofile != "" {
-		f, err := os.Create(ef.memprofile)
-		if err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
-		defer func() { _ = f.Close() }()
-		runtime.GC() // flush dead objects so the profile shows live memory
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
-	}
-	return nil
-}
-
-// evalRun runs the compute step of an evaluation command under ef.run, so
-// profiles cover the evaluation itself rather than result formatting.
+// evalRun runs the compute step of an evaluation command under the shared
+// run wrapper, so profiles (and the admin endpoint's lifetime) cover the
+// evaluation itself rather than result formatting.
 func evalRun[T any](ef *evalFlags, f func() (T, error)) (T, error) {
 	var out T
 	err := ef.run(func() error {

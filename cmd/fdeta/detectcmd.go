@@ -16,6 +16,7 @@ import (
 // complete week is evaluated.
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	rf := bindRunFlags(fs)
 	path := fs.String("data", "", "CER-format CSV file (required; see `fdeta generate`)")
 	trainWeeks := fs.Int("train", 0, "training weeks (default: all but the last week)")
 	significance := fs.Float64("significance", 0.05, "KLD significance level α")
@@ -26,7 +27,15 @@ func cmdDetect(args []string) error {
 	if *path == "" {
 		return fmt.Errorf("-data is required")
 	}
-	f, err := os.Open(*path)
+	return rf.run(func() error {
+		return runDetect(*path, *trainWeeks, *significance, *consumer)
+	})
+}
+
+// runDetect is the detect pipeline body, separated so the shared run
+// wrapper (profiling, admin endpoint) brackets exactly the detection work.
+func runDetect(path string, trainWeeks int, significance float64, consumer int) error {
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
@@ -38,7 +47,7 @@ func cmdDetect(args []string) error {
 	if ds.Weeks < 3 {
 		return fmt.Errorf("dataset has %d complete weeks; need >= 3 (train + evaluate)", ds.Weeks)
 	}
-	tw := *trainWeeks
+	tw := trainWeeks
 	if tw <= 0 {
 		tw = ds.Weeks - 1
 	}
@@ -46,7 +55,7 @@ func cmdDetect(args []string) error {
 		return fmt.Errorf("training weeks %d must leave at least one evaluation week of %d", tw, ds.Weeks)
 	}
 
-	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(*significance)})
+	framework, err := core.New(core.Config{Factory: core.DefaultDetectorFactory(significance)})
 	if err != nil {
 		return err
 	}
@@ -54,7 +63,7 @@ func cmdDetect(args []string) error {
 	evaluated, flagged := 0, 0
 	for i := range ds.Consumers {
 		c := &ds.Consumers[i]
-		if *consumer != 0 && c.ID != *consumer {
+		if consumer != 0 && c.ID != consumer {
 			continue
 		}
 		id := fmt.Sprintf("%d", c.ID)

@@ -153,5 +153,10 @@ identical at any setting), -cpuprofile/-memprofile (pprof output files),
 -fault SPEC (inject meter faults into the monitored weeks), -checkpoint
 FILE (crash-safe per-consumer progress; rerun to resume), and -strict
 (fail fast instead of quarantining a failing consumer).
+
+Long-running commands (detect, collect, bench, and every evaluation
+command) also accept -metrics-addr ADDR: an opt-in HTTP admin endpoint
+serving /metrics (Prometheus text), /metrics.json, /healthz, and
+/debug/pprof for the duration of the run. Unset means no listener.
 `)
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -49,7 +51,10 @@ func (c *HeadEndConfig) applyDefaults() {
 	}
 }
 
-// HeadEndStats is a snapshot of the head-end's ingestion counters.
+// HeadEndStats is a snapshot of the head-end's ingestion counters. It is a
+// compatibility view assembled from the registry-backed instruments (see
+// metrics.go); the authoritative store is the obs.Registry, which an admin
+// endpoint can export live.
 type HeadEndStats struct {
 	ActiveConns   int   // sessions currently being served
 	TotalConns    int64 // sessions accepted since start
@@ -80,51 +85,40 @@ type HeadEnd struct {
 	// the sessions, which is what the connection limit compares against.
 	conns  map[net.Conn]bool
 	active int
-	stats  HeadEndStats
+
+	met *headEndMetrics
+	log *slog.Logger
 
 	done chan struct{} // closed when Close begins; handlers drain on it
 	wg   sync.WaitGroup
 }
 
-// NewHeadEnd creates an idle head-end with default lifecycle limits.
-func NewHeadEnd() *HeadEnd {
-	return NewHeadEndWith(HeadEndConfig{})
-}
-
-// NewHeadEndWith creates an idle head-end with explicit lifecycle limits.
-func NewHeadEndWith(cfg HeadEndConfig) *HeadEnd {
-	cfg.applyDefaults()
-	return &HeadEnd{
-		cfg:      cfg,
-		readings: make(map[string]map[timeseries.Slot]float64),
-		conns:    make(map[net.Conn]bool),
-		done:     make(chan struct{}),
-	}
-}
-
-// SetKeyring enables per-reading HMAC verification. Must be called before
-// Listen. Readings that fail verification are rejected with an error
-// envelope and never stored.
-func (h *HeadEnd) SetKeyring(kr *Keyring) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.keyring = kr
-}
+// Metrics returns the registry holding this head-end's instruments, for
+// export via obs.ServeAdmin or direct Snapshot().
+func (h *HeadEnd) Metrics() *obs.Registry { return h.met.reg }
 
 // AuthFailures returns how many readings were rejected for bad MACs.
 func (h *HeadEnd) AuthFailures() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return int(h.stats.AuthFailed)
+	return int(h.met.authFailed.Value())
 }
 
-// Stats snapshots the ingestion counters.
+// Stats snapshots the ingestion counters from the registry-backed
+// instruments.
 func (h *HeadEnd) Stats() HeadEndStats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	st := h.stats
-	st.ActiveConns = h.active
-	return st
+	active := h.active
+	h.mu.Unlock()
+	m := h.met
+	return HeadEndStats{
+		ActiveConns:   active,
+		TotalConns:    m.connsTotal.Value(),
+		LimitRejected: m.limitRejected.Value(),
+		Accepted:      m.accepted.Value(),
+		Rejected:      m.rejected.Value(),
+		AuthFailed:    m.authFailed.Value(),
+		IdleTimeouts:  m.idleTimeouts.Value(),
+		ForcedCloses:  m.forcedCloses.Value(),
+	}
 }
 
 // Listen starts accepting connections on the given address ("127.0.0.1:0"
@@ -160,6 +154,7 @@ func (h *HeadEnd) Listen(addr string) (string, error) {
 	h.ln = ln
 	h.mu.Unlock()
 
+	h.log.Info("head-end listening", "addr", ln.Addr().String())
 	h.wg.Add(1)
 	go h.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -180,9 +175,10 @@ func (h *HeadEnd) acceptLoop(ln net.Listener) {
 			return
 		}
 		if h.active >= h.cfg.MaxConns {
-			h.stats.LimitRejected++
 			h.conns[conn] = false
 			h.mu.Unlock()
+			h.met.limitRejected.Inc()
+			h.log.Warn("connection rejected at limit", "remote", conn.RemoteAddr())
 			h.wg.Add(1)
 			go func() {
 				defer h.wg.Done()
@@ -193,8 +189,9 @@ func (h *HeadEnd) acceptLoop(ln net.Listener) {
 		}
 		h.conns[conn] = true
 		h.active++
-		h.stats.TotalConns++
+		h.met.activeConns.Set(float64(h.active))
 		h.mu.Unlock()
+		h.met.connsTotal.Inc()
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
@@ -209,6 +206,7 @@ func (h *HeadEnd) untrack(conn net.Conn, session bool) {
 	delete(h.conns, conn)
 	if session {
 		h.active--
+		h.met.activeConns.Set(float64(h.active))
 	}
 	h.mu.Unlock()
 }
@@ -275,6 +273,7 @@ func (h *HeadEnd) handle(conn net.Conn) {
 		// Drain semantics: finish the in-flight request/ack cycle, then
 		// bow out between readings once shutdown has begun.
 		if h.shuttingDown() {
+			h.met.connsDrained.Inc()
 			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeShuttingDown, Error: "head-end shutting down"})
 			return
 		}
@@ -289,21 +288,26 @@ func (h *HeadEnd) handle(conn net.Conn) {
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				h.bump(func(st *HeadEndStats) { st.IdleTimeouts++ })
+				h.met.idleTimeouts.Inc()
+				h.log.Debug("session idle timeout", "meter", meterID)
 				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeIdleTimeout, Error: "idle timeout"})
 				return
 			}
-			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			// Anything else out of Recv is a wire-level fault: a malformed,
+			// oversized, or truncated frame.
+			h.met.codecErrors.Inc()
+			h.met.rejected.Inc()
 			_ = codec.Send(errorEnvelope(err))
 			return
 		}
+		start := time.Now()
 		if env.Type != TypeReading {
-			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			h.met.rejected.Inc()
 			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected reading"})
 			return
 		}
 		if env.Reading.MeterID != meterID {
-			h.bump(func(st *HeadEndStats) { st.Rejected++ })
+			h.met.rejected.Inc()
 			mismatch := fmt.Errorf("%w: reading claims %q, session is %q", ErrSessionMismatch, env.Reading.MeterID, meterID)
 			_ = codec.Send(errorEnvelope(mismatch))
 			return
@@ -313,22 +317,19 @@ func (h *HeadEnd) handle(conn net.Conn) {
 		h.mu.Unlock()
 		if kr != nil {
 			if err := kr.VerifyEnvelope(env); err != nil {
-				h.bump(func(st *HeadEndStats) { st.AuthFailed++ })
+				h.met.authFailed.Inc()
+				h.log.Warn("reading failed MAC verification", "meter", meterID)
 				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeAuth, Error: err.Error()})
 				return
 			}
 		}
 		h.store(env.Reading)
-		if err := codec.Send(&Envelope{Type: TypeAck, Ack: &AckMsg{Slot: env.Reading.Slot}}); err != nil {
+		err = codec.Send(&Envelope{Type: TypeAck, Ack: &AckMsg{Slot: env.Reading.Slot}})
+		h.met.ingestLatency.Observe(time.Since(start).Seconds())
+		if err != nil {
 			return
 		}
 	}
-}
-
-func (h *HeadEnd) bump(f func(*HeadEndStats)) {
-	h.mu.Lock()
-	f(&h.stats)
-	h.mu.Unlock()
 }
 
 func (h *HeadEnd) store(r *ReadingMsg) {
@@ -340,7 +341,7 @@ func (h *HeadEnd) store(r *ReadingMsg) {
 		h.readings[r.MeterID] = m
 	}
 	m[timeseries.Slot(r.Slot)] = r.KW
-	h.stats.Accepted++
+	h.met.accepted.Inc()
 }
 
 // Close stops the listener and drains active sessions: handlers get
@@ -374,11 +375,16 @@ func (h *HeadEnd) Close() error {
 	case <-drained:
 	case <-timer.C:
 		h.mu.Lock()
+		forced := 0
 		for conn := range h.conns {
-			h.stats.ForcedCloses++
+			h.met.forcedCloses.Inc()
+			forced++
 			_ = conn.Close()
 		}
 		h.mu.Unlock()
+		if forced > 0 {
+			h.log.Warn("force-closed stragglers at drain deadline", "count", forced)
+		}
 		<-drained
 	}
 	return err

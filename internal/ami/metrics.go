@@ -1,0 +1,57 @@
+package ami
+
+import (
+	"repro/internal/obs"
+)
+
+// headEndMetrics holds the registry-backed instruments for one head-end.
+// Every counter the old mutex-and-bump HeadEndStats tracked lives here as an
+// atomic instrument; Stats() re-assembles the legacy snapshot from these, so
+// the /metrics endpoint and the Stats() view can never disagree.
+type headEndMetrics struct {
+	reg *obs.Registry
+
+	activeConns   *obs.Gauge   // fdeta_ami_connections_active
+	connsTotal    *obs.Counter // fdeta_ami_connections_total
+	limitRejected *obs.Counter // fdeta_ami_connections_rejected_total{reason="limit"}
+	connsDrained  *obs.Counter // fdeta_ami_connections_drained_total
+	accepted      *obs.Counter // fdeta_ami_readings_accepted_total
+	rejected      *obs.Counter // fdeta_ami_readings_rejected_total{reason="protocol"}
+	authFailed    *obs.Counter // fdeta_ami_readings_rejected_total{reason="auth"}
+	idleTimeouts  *obs.Counter // fdeta_ami_idle_timeouts_total
+	forcedCloses  *obs.Counter // fdeta_ami_forced_closes_total
+	codecErrors   *obs.Counter // fdeta_ami_codec_errors_total
+	ingestLatency *obs.Histogram
+}
+
+// newHeadEndMetrics registers the head-end instrument set on reg. Each
+// head-end defaults to a private registry so two instances in one process
+// (common in tests) never share counters; WithMetrics opts into a shared
+// registry for export.
+func newHeadEndMetrics(reg *obs.Registry) *headEndMetrics {
+	return &headEndMetrics{
+		reg: reg,
+		activeConns: reg.Gauge("fdeta_ami_connections_active",
+			"meter sessions currently being served"),
+		connsTotal: reg.Counter("fdeta_ami_connections_total",
+			"meter sessions accepted since start"),
+		limitRejected: reg.Counter("fdeta_ami_connections_rejected_total",
+			"connections turned away at accept time", obs.L("reason", "limit")),
+		connsDrained: reg.Counter("fdeta_ami_connections_drained_total",
+			"sessions bowed out gracefully during shutdown drain"),
+		accepted: reg.Counter("fdeta_ami_readings_accepted_total",
+			"readings stored and acknowledged"),
+		rejected: reg.Counter("fdeta_ami_readings_rejected_total",
+			"readings refused before storage", obs.L("reason", "protocol")),
+		authFailed: reg.Counter("fdeta_ami_readings_rejected_total",
+			"readings refused before storage", obs.L("reason", "auth")),
+		idleTimeouts: reg.Counter("fdeta_ami_idle_timeouts_total",
+			"sessions closed for idling past the read deadline"),
+		forcedCloses: reg.Counter("fdeta_ami_forced_closes_total",
+			"connections force-closed at the drain deadline"),
+		codecErrors: reg.Counter("fdeta_ami_codec_errors_total",
+			"malformed or oversized frames on the wire"),
+		ingestLatency: reg.Histogram("fdeta_ami_ingest_latency_seconds",
+			"reading receipt to acknowledgement, per message", obs.LatencyBuckets()),
+	}
+}

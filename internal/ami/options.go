@@ -1,0 +1,94 @@
+package ami
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// Option configures a HeadEnd at construction time.
+type Option func(*HeadEnd)
+
+// WithConfig replaces the whole lifecycle config in one option. Zero-valued
+// fields still fall back to the production defaults.
+func WithConfig(cfg HeadEndConfig) Option {
+	return func(h *HeadEnd) { h.cfg = cfg }
+}
+
+// WithMaxConns bounds concurrent meter sessions (0 = DefaultMaxConns).
+func WithMaxConns(n int) Option {
+	return func(h *HeadEnd) { h.cfg.MaxConns = n }
+}
+
+// WithIdleTimeout sets the per-read deadline on a meter session
+// (0 = DefaultIdleTimeout).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(h *HeadEnd) { h.cfg.IdleTimeout = d }
+}
+
+// WithDrainTimeout sets the Close grace period (0 = DefaultDrainTimeout).
+func WithDrainTimeout(d time.Duration) Option {
+	return func(h *HeadEnd) { h.cfg.DrainTimeout = d }
+}
+
+// WithKeyring enables per-reading HMAC verification. Readings that fail
+// verification are rejected with an error envelope and never stored.
+func WithKeyring(kr *Keyring) Option {
+	return func(h *HeadEnd) { h.keyring = kr }
+}
+
+// WithMetrics registers the head-end's instruments on reg instead of a
+// private registry, so an admin endpoint (obs.ServeAdmin) can export them.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(h *HeadEnd) {
+		if reg != nil {
+			h.met = newHeadEndMetrics(reg)
+		}
+	}
+}
+
+// New creates an idle head-end. With no options it behaves exactly like the
+// old NewHeadEnd: production lifecycle defaults, no keyring, and a private
+// metrics registry.
+func New(opts ...Option) *HeadEnd {
+	h := &HeadEnd{
+		readings: make(map[string]map[timeseries.Slot]float64),
+		conns:    make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+		log:      obs.Logger("ami"),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	h.cfg.applyDefaults()
+	if h.met == nil {
+		h.met = newHeadEndMetrics(obs.NewRegistry())
+	}
+	return h
+}
+
+// NewHeadEnd creates an idle head-end with default lifecycle limits.
+//
+// Deprecated: use New.
+func NewHeadEnd() *HeadEnd {
+	return New()
+}
+
+// NewHeadEndWith creates an idle head-end with explicit lifecycle limits.
+//
+// Deprecated: use New with WithConfig (or the per-field options).
+func NewHeadEndWith(cfg HeadEndConfig) *HeadEnd {
+	return New(WithConfig(cfg))
+}
+
+// SetKeyring enables per-reading HMAC verification. Must be called before
+// Listen.
+//
+// Deprecated: use New(WithKeyring(kr)).
+func (h *HeadEnd) SetKeyring(kr *Keyring) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.keyring = kr
+}

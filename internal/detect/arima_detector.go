@@ -44,6 +44,7 @@ func (c ARIMAConfig) withDefaults() ARIMAConfig {
 // and drags the interval along with the attack vector — the feedback loop
 // the paper exploits to show this detector's weakness (Section VIII-B1).
 type ARIMADetector struct {
+	maskedEval
 	cfg       ARIMAConfig
 	model     *arima.Model
 	train     timeseries.Series
@@ -154,6 +155,7 @@ func newARIMADetectorFitted(train timeseries.Series, cfg ARIMAConfig, model *ari
 		return nil, fmt.Errorf("detect: warming predictor: %w", err)
 	}
 	d.warm = warm
+	d.initEval(d)
 	return d, nil
 }
 
@@ -171,10 +173,16 @@ func (d *ARIMADetector) Threshold() float64 { return d.threshold }
 // attack generators as a proxy for the consumer's service capacity.
 func (d *ARIMADetector) HistoricPeak() float64 { return d.peak }
 
-// Detect implements Detector: the week is flagged when the fraction of
-// readings falling outside the rolling confidence interval exceeds the
+// referenceWeek implements detectorCore: the final training week is the
+// trusted imputation anchor.
+func (d *ARIMADetector) referenceWeek() timeseries.Series {
+	return d.train[len(d.train)-timeseries.SlotsPerWeek:]
+}
+
+// detectWeek implements detectorCore: the week is flagged when the fraction
+// of readings falling outside the rolling confidence interval exceeds the
 // calibrated threshold.
-func (d *ARIMADetector) Detect(week timeseries.Series) (Verdict, error) {
+func (d *ARIMADetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
@@ -272,6 +280,7 @@ func (c IntegratedARIMAConfig) withDefaults() IntegratedARIMAConfig {
 // attack. The paper shows it is in turn circumvented by the Integrated
 // ARIMA attack, which motivates the KLD detector.
 type IntegratedARIMADetector struct {
+	maskedEval
 	cfg    IntegratedARIMAConfig
 	inner  *ARIMADetector
 	meanLo float64
@@ -318,6 +327,7 @@ func NewIntegratedARIMADetectorWithInner(inner *ARIMADetector, matrix *timeserie
 	if d.meanLo < 0 {
 		d.meanLo = 0
 	}
+	d.initEval(d)
 	return d, nil
 }
 
@@ -335,12 +345,18 @@ func (d *IntegratedARIMADetector) VarianceCap() float64 { return d.varHi }
 // Inner exposes the underlying ARIMA detector.
 func (d *IntegratedARIMADetector) Inner() *ARIMADetector { return d.inner }
 
-// Detect implements Detector.
-func (d *IntegratedARIMADetector) Detect(week timeseries.Series) (Verdict, error) {
+// referenceWeek implements detectorCore.
+func (d *IntegratedARIMADetector) referenceWeek() timeseries.Series {
+	return d.inner.referenceWeek()
+}
+
+// detectWeek implements detectorCore. The inner check goes straight to the
+// ARIMA detector's core judgement so the integrated verdict is counted once.
+func (d *IntegratedARIMADetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
-	base, err := d.inner.Detect(week)
+	base, err := d.inner.detectWeek(week)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -374,9 +390,3 @@ func (d *IntegratedARIMADetector) Detect(week timeseries.Series) (Verdict, error
 	}
 	return Verdict{Score: score, Threshold: 1}, nil
 }
-
-// Interface compliance checks.
-var (
-	_ Detector = (*ARIMADetector)(nil)
-	_ Detector = (*IntegratedARIMADetector)(nil)
-)

@@ -45,12 +45,20 @@ type Verdict struct {
 }
 
 // Detector judges candidate weeks of reported readings for one consumer.
+// Masked evaluation is the contract's single code path: Detect(week) is
+// exactly DetectMasked with a nil (all-OK) mask.
 type Detector interface {
 	// Name identifies the detector in tables and logs.
 	Name() string
 	// Detect evaluates one candidate week (exactly timeseries.SlotsPerWeek
 	// readings) of reported consumption.
 	Detect(week timeseries.Series) (Verdict, error)
+	// DetectMasked evaluates one candidate week under a quality mask:
+	// readings flagged Missing or Corrupt are imputed (above the coverage
+	// gate) or the verdict is declared inconclusive (below it). A nil or
+	// all-OK mask is exactly Detect. The zero QualityPolicy selects the
+	// package defaults.
+	DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error)
 }
 
 // validateWeek enforces the detectors' shared input contract.

@@ -113,6 +113,7 @@ func (c KLDConfig) Validate() error {
 // distribution. The method is non-parametric — it assumes nothing about the
 // underlying consumption distribution.
 type KLDDetector struct {
+	maskedEval
 	cfg       KLDConfig
 	hist      *stats.Histogram
 	xProbs    []float64         // the X distribution
@@ -187,6 +188,7 @@ func NewKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg KLDConfig) (*KL
 	if math.IsNaN(d.threshold) {
 		return nil, fmt.Errorf("detect: KLD threshold undefined")
 	}
+	d.initEval(d)
 	return d, nil
 }
 
@@ -213,6 +215,7 @@ func (d *KLDDetector) WithSignificance(alpha float64) (*KLDDetector, error) {
 	if math.IsNaN(out.threshold) {
 		return nil, fmt.Errorf("detect: KLD threshold undefined")
 	}
+	out.initEval(out)
 	return out, nil
 }
 
@@ -276,9 +279,12 @@ func (d *KLDDetector) WeekDistribution(week timeseries.Series) []float64 {
 	return d.hist.Distribution(week)
 }
 
-// Detect implements Detector: the null hypothesis that the week is normal
-// is rejected when K_A exceeds the (1-α)-percentile threshold.
-func (d *KLDDetector) Detect(week timeseries.Series) (Verdict, error) {
+// referenceWeek implements detectorCore.
+func (d *KLDDetector) referenceWeek() timeseries.Series { return d.refWeek }
+
+// detectWeek implements detectorCore: the null hypothesis that the week is
+// normal is rejected when K_A exceeds the (1-α)-percentile threshold.
+func (d *KLDDetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
@@ -297,6 +303,3 @@ func (d *KLDDetector) Detect(week timeseries.Series) (Verdict, error) {
 	}
 	return v, nil
 }
-
-// Interface compliance check.
-var _ Detector = (*KLDDetector)(nil)

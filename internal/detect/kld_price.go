@@ -68,6 +68,7 @@ func (c PriceKLDConfig) Validate() error {
 // tier, so the per-tier distributions shift in opposite directions and the
 // summed divergence spikes.
 type PriceKLDDetector struct {
+	maskedEval
 	cfg       PriceKLDConfig
 	slotTier  []int              // tier per weekly slot
 	tierSlots [][]int            // slot indices per tier, increasing order
@@ -170,6 +171,7 @@ func NewPriceKLDDetectorFromMatrix(matrix *timeseries.WeekMatrix, cfg PriceKLDCo
 	if math.IsNaN(d.threshold) {
 		return nil, fmt.Errorf("detect: price-KLD threshold undefined")
 	}
+	d.initEval(d)
 	return d, nil
 }
 
@@ -196,6 +198,7 @@ func (d *PriceKLDDetector) WithSignificance(alpha float64) (*PriceKLDDetector, e
 	if math.IsNaN(out.threshold) {
 		return nil, fmt.Errorf("detect: price-KLD threshold undefined")
 	}
+	out.initEval(out)
 	return out, nil
 }
 
@@ -274,8 +277,11 @@ func (d *PriceKLDDetector) divergenceWeek(week timeseries.Series) (float64, erro
 	return total, nil
 }
 
-// Detect implements Detector.
-func (d *PriceKLDDetector) Detect(week timeseries.Series) (Verdict, error) {
+// referenceWeek implements detectorCore.
+func (d *PriceKLDDetector) referenceWeek() timeseries.Series { return d.refWeek }
+
+// detectWeek implements detectorCore.
+func (d *PriceKLDDetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
@@ -294,6 +300,3 @@ func (d *PriceKLDDetector) Detect(week timeseries.Series) (Verdict, error) {
 	}
 	return v, nil
 }
-
-// Interface compliance check.
-var _ Detector = (*PriceKLDDetector)(nil)

@@ -46,6 +46,7 @@ func (c PCAConfig) withDefaults() PCAConfig {
 // ~75% of training weeks and the residual percentile is taken over the
 // remaining held-out weeks.
 type PCADetector struct {
+	maskedEval
 	cfg        PCAConfig
 	mean       timeseries.Series // column means (the seasonal profile)
 	components [][]float64       // k rows of length 336, orthonormal
@@ -187,6 +188,7 @@ func NewPCADetector(train timeseries.Series, cfg PCAConfig) (*PCADetector, error
 	// With few holdout weeks the percentile is near the max; pad it so that
 	// ordinary week-to-week variation does not trip the detector.
 	d.threshold *= 1.25
+	d.initEval(d)
 	return d, nil
 }
 
@@ -224,8 +226,11 @@ func (d *PCADetector) residual(week timeseries.Series) float64 {
 	return math.Sqrt(ss)
 }
 
-// Detect implements Detector.
-func (d *PCADetector) Detect(week timeseries.Series) (Verdict, error) {
+// referenceWeek implements detectorCore.
+func (d *PCADetector) referenceWeek() timeseries.Series { return d.refWeek }
+
+// detectWeek implements detectorCore.
+func (d *PCADetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
@@ -321,6 +326,3 @@ func jacobiEigen(sym [][]float64, maxSweeps int) (vals []float64, vecs [][]float
 	}
 	return vals, v, nil
 }
-
-// Interface compliance check.
-var _ Detector = (*PCADetector)(nil)

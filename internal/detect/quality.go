@@ -40,122 +40,9 @@ func (p QualityPolicy) Validate() error {
 	return nil
 }
 
-// MaskedDetector is a Detector that also accepts quality-masked weeks:
-// readings flagged Missing or Corrupt are imputed (above the coverage gate)
-// or the verdict is declared inconclusive (below it). Every detector in this
-// package implements the interface.
-type MaskedDetector interface {
-	Detector
-	// DetectMasked evaluates one candidate week under the given quality
-	// mask. A nil or all-OK mask is exactly Detect. The zero QualityPolicy
-	// selects the package defaults.
-	DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error)
-}
-
-// detectMasked is the shared masked-detection path: gate on trusted
-// coverage, impute the surviving gaps against the detector's trusted
-// reference week, then run the detector's ordinary judgement on the filled
-// week.
-func detectMasked(d Detector, ref timeseries.Series, week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	policy = policy.withDefaults()
-	if err := policy.Validate(); err != nil {
-		return Verdict{}, err
-	}
-	if len(mask) == 0 {
-		return d.Detect(week)
-	}
-	if len(mask) != len(week) {
-		return Verdict{}, fmt.Errorf("detect: mask length %d does not match week length %d",
-			len(mask), len(week))
-	}
-	if mask.AllOK() {
-		return d.Detect(week)
-	}
-	if len(week) != timeseries.SlotsPerWeek {
-		return Verdict{}, fmt.Errorf("detect: candidate week has %d readings, want %d",
-			len(week), timeseries.SlotsPerWeek)
-	}
-	cov := mask.Coverage()
-	if cov < policy.MinCoverage {
-		return Verdict{
-			Inconclusive: true,
-			Reason: fmt.Sprintf("coverage %.1f%% below the %.0f%% gate: %d of %d readings untrusted — verdict inconclusive, meter flagged for investigation as faulty",
-				100*cov, 100*policy.MinCoverage, mask.CountBad(), timeseries.SlotsPerWeek),
-		}, nil
-	}
-	filled, _, err := timeseries.ImputeWeek(week, mask, ref, policy.Impute)
-	if err != nil {
-		return Verdict{}, fmt.Errorf("detect: imputing masked week: %w", err)
-	}
-	// Corrupt observations may carry non-finite or negative values; they are
-	// replaced above, so the filled week must satisfy the ordinary contract.
-	v, err := d.Detect(filled)
-	if err != nil {
-		return Verdict{}, err
-	}
-	if v.Anomalous {
-		v.Reason = fmt.Sprintf("%s (judged at %.1f%% coverage, %s imputation)",
-			v.Reason, 100*cov, policy.Impute)
-	}
-	return v, nil
-}
-
-// DetectMasked implements MaskedDetector. The imputation reference is the
-// final trusted training week.
-func (d *ARIMADetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	return detectMasked(d, d.refWeek(), week, mask, policy)
-}
-
-// refWeek returns the final training week, the trusted imputation anchor.
-func (d *ARIMADetector) refWeek() timeseries.Series {
-	return d.train[len(d.train)-timeseries.SlotsPerWeek:]
-}
-
-// DetectMasked implements MaskedDetector.
-func (d *IntegratedARIMADetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	return detectMasked(d, d.inner.refWeek(), week, mask, policy)
-}
-
-// DetectMasked implements MaskedDetector.
-func (d *KLDDetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	return detectMasked(d, d.refWeek, week, mask, policy)
-}
-
-// DetectMasked implements MaskedDetector.
-func (d *PriceKLDDetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	return detectMasked(d, d.refWeek, week, mask, policy)
-}
-
-// DetectMasked implements MaskedDetector. The seasonal-naive detector's own
-// trusted reference season doubles as the imputation anchor, so here the
-// seasonal-naive fill is literally the detector's forecast.
-func (d *SeasonalNaiveDetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	ref := d.reference
-	if len(ref) > timeseries.SlotsPerWeek {
-		ref = ref[len(ref)-timeseries.SlotsPerWeek:]
-	}
-	if len(ref) < timeseries.SlotsPerWeek {
-		// Sub-week season: tile the reference cyclically to a full week.
-		tiled := make(timeseries.Series, timeseries.SlotsPerWeek)
-		for i := range tiled {
-			tiled[i] = ref[i%len(ref)]
-		}
-		ref = tiled
-	}
-	return detectMasked(d, ref, week, mask, policy)
-}
-
-// DetectMasked implements MaskedDetector.
-func (d *PCADetector) DetectMasked(week timeseries.Series, mask timeseries.Mask, policy QualityPolicy) (Verdict, error) {
-	return detectMasked(d, d.refWeek, week, mask, policy)
-}
-
-// Interface compliance checks: every detector accepts masked weeks.
-var (
-	_ MaskedDetector = (*ARIMADetector)(nil)
-	_ MaskedDetector = (*IntegratedARIMADetector)(nil)
-	_ MaskedDetector = (*KLDDetector)(nil)
-	_ MaskedDetector = (*PriceKLDDetector)(nil)
-	_ MaskedDetector = (*SeasonalNaiveDetector)(nil)
-	_ MaskedDetector = (*PCADetector)(nil)
-)
+// MaskedDetector is the former name of the masked-detection interface.
+// DetectMasked is now part of the Detector contract itself, implemented once
+// by the shared maskedEval path (masked.go).
+//
+// Deprecated: use Detector.
+type MaskedDetector = Detector

@@ -9,11 +9,11 @@ import (
 	"repro/internal/timeseries"
 )
 
-// maskedDetectors builds one instance of every MaskedDetector family from
+// maskedDetectors builds one instance of every Detector family from
 // the same training series.
-func maskedDetectors(t *testing.T, train timeseries.Series) map[string]MaskedDetector {
+func maskedDetectors(t *testing.T, train timeseries.Series) map[string]Detector {
 	t.Helper()
-	out := make(map[string]MaskedDetector)
+	out := make(map[string]Detector)
 
 	kld, err := NewKLDDetector(train, KLDConfig{})
 	if err != nil {

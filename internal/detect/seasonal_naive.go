@@ -52,6 +52,7 @@ func (c SeasonalNaiveConfig) withDefaults() SeasonalNaiveConfig {
 // real consumption by at most z·sigma per reading, ever. The unit tests
 // quantify the difference.
 type SeasonalNaiveDetector struct {
+	maskedEval
 	cfg       SeasonalNaiveConfig
 	reference timeseries.Series // trailing season of trusted readings
 	sigma     float64           // stddev of seasonal differences
@@ -114,6 +115,7 @@ func NewSeasonalNaiveDetector(train timeseries.Series, cfg SeasonalNaiveConfig) 
 		}
 	}
 	d.threshold = worst + cfg.ViolationMargin
+	d.initEval(d)
 	return d, nil
 }
 
@@ -139,9 +141,28 @@ func (d *SeasonalNaiveDetector) Bounds(s int) (lo, hi float64) {
 	return lo, hi
 }
 
-// Detect implements Detector: each reading is compared against the band
-// around the reading one season earlier in the trusted reference.
-func (d *SeasonalNaiveDetector) Detect(week timeseries.Series) (Verdict, error) {
+// referenceWeek implements detectorCore. The detector's own trusted
+// reference season doubles as the imputation anchor, so the seasonal-naive
+// fill is literally the detector's forecast; a sub-week season is tiled
+// cyclically to a full week.
+func (d *SeasonalNaiveDetector) referenceWeek() timeseries.Series {
+	ref := d.reference
+	if len(ref) > timeseries.SlotsPerWeek {
+		ref = ref[len(ref)-timeseries.SlotsPerWeek:]
+	}
+	if len(ref) < timeseries.SlotsPerWeek {
+		tiled := make(timeseries.Series, timeseries.SlotsPerWeek)
+		for i := range tiled {
+			tiled[i] = ref[i%len(ref)]
+		}
+		ref = tiled
+	}
+	return ref
+}
+
+// detectWeek implements detectorCore: each reading is compared against the
+// band around the reading one season earlier in the trusted reference.
+func (d *SeasonalNaiveDetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err := validateWeek(week); err != nil {
 		return Verdict{}, err
 	}
@@ -164,6 +185,3 @@ func (d *SeasonalNaiveDetector) Detect(week timeseries.Series) (Verdict, error) 
 	}
 	return verdict, nil
 }
-
-// Interface compliance check.
-var _ Detector = (*SeasonalNaiveDetector)(nil)

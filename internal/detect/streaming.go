@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -36,6 +37,12 @@ type StreamingKLD struct {
 	policy QualityPolicy
 	pos    int
 	filled int
+
+	// covGauge exports the window's trusted-coverage fraction; fillGauge the
+	// live-fill fraction. Shared per detector name, so they reflect the most
+	// recently advanced stream — a liveness signal, not a per-meter ledger.
+	covGauge  *obs.Gauge
+	fillGauge *obs.Gauge
 }
 
 // NewStream seeds a streaming evaluator with a trusted historic week (336
@@ -55,11 +62,17 @@ func (d *KLDDetector) NewStreamWithPolicy(seedWeek timeseries.Series, policy Qua
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
+	reg := MetricsRegistry()
+	det := obs.L("detector", d.Name())
 	return &StreamingKLD{
 		det:    d,
 		window: seedWeek.Clone(),
 		bad:    make([]bool, timeseries.SlotsPerWeek),
 		policy: policy,
+		covGauge: reg.Gauge("fdeta_detect_stream_window_coverage",
+			"trusted fraction of the streaming window", det),
+		fillGauge: reg.Gauge("fdeta_detect_stream_window_filled",
+			"live fraction of the streaming window", det),
 	}, nil
 }
 
@@ -117,6 +130,8 @@ func (s *StreamingKLD) observe(v float64, status timeseries.ReadingStatus) (Verd
 		s.filled++
 	}
 	cov := s.Coverage()
+	s.covGauge.Set(cov)
+	s.fillGauge.Set(float64(s.filled) / timeseries.SlotsPerWeek)
 	if cov < s.policy.MinCoverage {
 		return Verdict{
 			Inconclusive: true,

@@ -5,11 +5,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -181,7 +183,10 @@ type Evaluation struct {
 	// Quarantined lists the consumers excluded from the tables because
 	// their evaluation failed, sorted by ID. Empty on a healthy run.
 	Quarantined []Quarantine
-	cells       map[DetectorID]map[Scenario]*Cell
+	// Summary is the run-level accounting: stage timings, worker
+	// utilization, and consumer results.
+	Summary RunSummary
+	cells   map[DetectorID]map[Scenario]*Cell
 }
 
 // Cell fetches one detector×scenario cell.
@@ -202,6 +207,13 @@ type consumerEval struct {
 	id       int
 	outcomes map[DetectorID]map[Scenario]ConsumerOutcome
 	err      error
+
+	// Stage timings in nanoseconds. Zero for consumers resumed from a
+	// checkpoint (their work was paid for by an earlier run).
+	trainNS  int64
+	attackNS int64
+	detectNS int64
+	totalNS  int64
 }
 
 // evalHook, when non-nil, runs at the start of every consumer evaluation.
@@ -236,6 +248,8 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	wallStart := time.Now()
+	met := newEvalMetrics(opts.Metrics)
 	ds, err := dataset.Generate(opts.Dataset)
 	if err != nil {
 		return nil, err
@@ -260,6 +274,7 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	if par > len(consumers) {
 		par = len(consumers)
 	}
+	met.workers.Set(float64(par))
 
 	// Workers acquire the semaphore inside their goroutine so the spawn
 	// loop never blocks. In strict mode the first consumer error is
@@ -279,9 +294,12 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			close(stop)
 		})
 	}
+	nresumed := 0
 	for i := range consumers {
 		if ce, ok := resumed[consumers[i].ID]; ok {
 			evals[i] = ce
+			nresumed++
+			met.resumed.Inc()
 			continue
 		}
 		wg.Add(1)
@@ -293,8 +311,13 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			case sem <- struct{}{}:
 			}
 			defer func() { <-sem }()
+			start := time.Now()
 			ce := evaluateConsumerSafe(&consumers[i], opts)
+			ce.totalNS = time.Since(start).Nanoseconds()
 			evals[i] = ce
+			// Bump instruments as workers finish so a live run can be
+			// watched over the admin endpoint.
+			met.observeConsumer(ce)
 			if ce.err != nil && opts.Strict {
 				abort(fmt.Errorf("experiments: consumer %d: %w", ce.id, ce.err))
 				return
@@ -311,6 +334,12 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	}()
 	select {
 	case err := <-errCh:
+		// Workers that were already mid-evaluation when the abort fired keep
+		// running; wait them out so no goroutine outlives this call still
+		// touching the caller's world (the metrics registry, the checkpoint
+		// file, the evalHook test seam). stop is closed, so queued workers
+		// exit without starting, and stopOnce drops any further abort.
+		<-done
 		return nil, err
 	case <-done:
 	}
@@ -373,6 +402,37 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			})
 		}
 	}
+
+	// Run-level accounting. Busy time is the per-consumer wall time summed
+	// over workers; resumed consumers contribute nothing.
+	wall := time.Since(wallStart).Seconds()
+	sum := RunSummary{
+		Consumers:   ev.Consumers,
+		Quarantined: len(ev.Quarantined),
+		Resumed:     nresumed,
+		Parallelism: par,
+		WallSeconds: wall,
+	}
+	var busyNS int64
+	for _, ce := range evals {
+		sum.Stage.Train += float64(ce.trainNS) / 1e9
+		sum.Stage.Attack += float64(ce.attackNS) / 1e9
+		sum.Stage.Detect += float64(ce.detectNS) / 1e9
+		sum.Inconclusive += ce.inconclusiveCount()
+		busyNS += ce.totalNS
+	}
+	if wall > 0 && par > 0 {
+		sum.WorkerUtilization = float64(busyNS) / 1e9 / (wall * float64(par))
+	}
+	met.utilization.Set(sum.WorkerUtilization)
+	ev.Summary = sum
+	if opts.Checkpoint != "" {
+		if err := sum.WriteFile(opts.Checkpoint + ".summary.json"); err != nil {
+			// A summary is a convenience artifact: losing it should not cost
+			// the tables of a long run.
+			obs.Logger("eval").Warn("writing run summary", "err", err)
+		}
+	}
 	return ev, nil
 }
 
@@ -383,6 +443,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 		ce.err = err
 		return ce
 	}
+	stageStart := time.Now()
 
 	train, test, err := c.Demand.Split(opts.TrainWeeks)
 	if err != nil {
@@ -446,6 +507,8 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	if err != nil {
 		return fail(fmt.Errorf("price kld10: %w", err))
 	}
+	ce.trainNS = time.Since(stageStart).Nanoseconds()
+	stageStart = time.Now()
 
 	// Generate the attack vectors.
 	rng := stats.SplitRand(opts.Seed, int64(c.ID))
@@ -480,6 +543,8 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	if err != nil {
 		return fail(fmt.Errorf("swap: %w", err))
 	}
+	ce.attackNS = time.Since(stageStart).Nanoseconds()
+	stageStart = time.Now()
 
 	// Gains per scenario and attack vector.
 	gain1B := func(vec timeseries.Series) (kwh, usd float64, err error) {
@@ -510,7 +575,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	// variant for the load-shifting column (Section VIII-F3).
 	type detPair struct {
 		id  DetectorID
-		det detect.MaskedDetector
+		det detect.Detector
 	}
 	weekDetectors := []detPair{
 		{DetARIMA, arimaDet},
@@ -598,6 +663,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 			ce.outcomes[dp.id][s] = o
 		}
 	}
+	ce.detectNS = time.Since(stageStart).Nanoseconds()
 	return ce
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 )
 
@@ -71,6 +72,11 @@ type Options struct {
 	// below which verdicts are inconclusive and the imputation policy for
 	// gaps above it. The zero value selects the detect package defaults.
 	Quality detect.QualityPolicy
+	// Metrics receives the run's fdeta_eval_* instruments (stage timings,
+	// worker utilization, consumer results). Nil selects obs.Default().
+	// Excluded from the checkpoint fingerprint: scraping a run does not
+	// invalidate its resume state.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // PaperOptions reproduces the paper's full protocol.

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// StageSeconds totals the per-consumer pipeline stages across a run, in
+// CPU-seconds (summed over workers, so they exceed wall time on parallel
+// runs).
+type StageSeconds struct {
+	// Train covers dataset split, quality repair, and detector-suite
+	// training (the single ARIMA grid fit dominates).
+	Train float64 `json:"train_seconds"`
+	// Attack covers attack-vector generation (the worst-of-N Integrated
+	// ARIMA draws and the Optimal Swap).
+	Attack float64 `json:"attack_seconds"`
+	// Detect covers the scenario×detector verdict loop.
+	Detect float64 `json:"detect_seconds"`
+}
+
+// RunSummary is the run-level accounting of one RunEvaluation: where the
+// time went, how busy the worker pool was, and how many consumers ended in
+// each state. When checkpointing is enabled it is also written as JSON
+// beside the checkpoint (<checkpoint>.summary.json).
+type RunSummary struct {
+	Consumers    int `json:"consumers"`
+	Quarantined  int `json:"quarantined"`
+	Resumed      int `json:"resumed_consumers"`
+	Inconclusive int `json:"inconclusive_outcomes"`
+
+	Parallelism int          `json:"parallelism"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Stage       StageSeconds `json:"stage_cpu_seconds"`
+	// WorkerUtilization is busy worker-seconds over par×wall-seconds: 1.0
+	// means every worker slot was evaluating a consumer the whole run.
+	// Resumed consumers cost no work and do not count as busy time.
+	WorkerUtilization float64 `json:"worker_utilization"`
+}
+
+// WriteFile persists the summary as indented JSON via tmp+rename, matching
+// the checkpoint's crash-safety discipline.
+func (s RunSummary) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return fmt.Errorf("experiments: encoding run summary: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: summary temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("experiments: writing summary: %w", werr)
+		}
+		return fmt.Errorf("experiments: closing summary: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: committing summary: %w", err)
+	}
+	return nil
+}
+
+// stageBuckets span per-consumer stage durations: milliseconds for the
+// verdict loop up to a minute for pathological ARIMA fits.
+var stageBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// evalMetrics are the run-level instruments RunEvaluation bumps as workers
+// complete, so a live run can be watched over the admin endpoint.
+type evalMetrics struct {
+	ok           *obs.Counter
+	quarantined  *obs.Counter
+	resumed      *obs.Counter
+	inconclusive *obs.Counter
+	workers      *obs.Gauge
+	utilization  *obs.Gauge
+	trainStage   *obs.Histogram
+	attackStage  *obs.Histogram
+	detectStage  *obs.Histogram
+}
+
+func newEvalMetrics(reg *obs.Registry) *evalMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("fdeta_eval_stage_seconds",
+			"per-consumer stage durations", stageBuckets, obs.L("stage", name))
+	}
+	return &evalMetrics{
+		ok: reg.Counter("fdeta_eval_consumers_total",
+			"consumers finished per result", obs.L("result", "ok")),
+		quarantined: reg.Counter("fdeta_eval_consumers_total",
+			"consumers finished per result", obs.L("result", "quarantined")),
+		resumed: reg.Counter("fdeta_eval_consumers_total",
+			"consumers finished per result", obs.L("result", "resumed")),
+		inconclusive: reg.Counter("fdeta_eval_outcomes_inconclusive_total",
+			"detector×scenario outcomes declined for lack of trusted readings"),
+		workers: reg.Gauge("fdeta_eval_workers",
+			"worker-pool size of the current run"),
+		utilization: reg.Gauge("fdeta_eval_worker_utilization",
+			"busy worker-seconds over pool-capacity-seconds"),
+		trainStage:  stage("train"),
+		attackStage: stage("attack"),
+		detectStage: stage("detect"),
+	}
+}
+
+// observeConsumer records one freshly evaluated (not resumed) consumer.
+func (m *evalMetrics) observeConsumer(ce consumerEval) {
+	if ce.err != nil {
+		m.quarantined.Inc()
+	} else {
+		m.ok.Inc()
+	}
+	m.trainStage.Observe(float64(ce.trainNS) / 1e9)
+	m.attackStage.Observe(float64(ce.attackNS) / 1e9)
+	m.detectStage.Observe(float64(ce.detectNS) / 1e9)
+	m.inconclusive.Add(int64(ce.inconclusiveCount()))
+}
+
+// inconclusiveCount counts this consumer's declined outcomes.
+func (ce consumerEval) inconclusiveCount() int {
+	n := 0
+	for _, row := range ce.outcomes {
+		for _, o := range row {
+			if o.Inconclusive {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// TestRunSummaryAndEvalMetrics runs the quick protocol on a private
+// registry and checks the run-level accounting: the in-memory Summary, the
+// JSON artifact beside the checkpoint, and the fdeta_eval_* counters.
+func TestRunSummaryAndEvalMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := quickRobustOptions()
+	opts.Parallelism = 2
+	opts.Metrics = reg
+	opts.Checkpoint = filepath.Join(t.TempDir(), "eval.ckpt")
+
+	ev, err := RunEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ev.Summary
+	if s.Consumers != 5 || s.Quarantined != 0 || s.Resumed != 0 {
+		t.Errorf("summary counts = %+v, want 5 consumers, 0 quarantined, 0 resumed", s)
+	}
+	if s.Parallelism != 2 {
+		t.Errorf("summary parallelism = %d, want 2", s.Parallelism)
+	}
+	if s.WallSeconds <= 0 {
+		t.Errorf("wall seconds = %g, want > 0", s.WallSeconds)
+	}
+	// Every fresh consumer passes through all three stages.
+	if s.Stage.Train <= 0 || s.Stage.Attack <= 0 || s.Stage.Detect <= 0 {
+		t.Errorf("stage seconds = %+v, want all > 0", s.Stage)
+	}
+	if s.WorkerUtilization <= 0 || s.WorkerUtilization > 1.0001 {
+		t.Errorf("worker utilization = %g, want in (0, 1]", s.WorkerUtilization)
+	}
+
+	// The summary JSON lands beside the checkpoint and round-trips.
+	raw, err := os.ReadFile(opts.Checkpoint + ".summary.json")
+	if err != nil {
+		t.Fatalf("summary artifact: %v", err)
+	}
+	var onDisk RunSummary
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("summary artifact does not parse: %v", err)
+	}
+	if onDisk != s {
+		t.Errorf("on-disk summary %+v != in-memory %+v", onDisk, s)
+	}
+
+	// Registry counters agree with the summary.
+	if got := reg.Counter("fdeta_eval_consumers_total", "", obs.L("result", "ok")).Value(); got != 5 {
+		t.Errorf("ok consumers counter = %d, want 5", got)
+	}
+	if got := reg.Gauge("fdeta_eval_workers", "").Value(); got != 2 {
+		t.Errorf("workers gauge = %g, want 2", got)
+	}
+	if got := reg.Gauge("fdeta_eval_worker_utilization", "").Value(); got != s.WorkerUtilization {
+		t.Errorf("utilization gauge = %g, want %g", got, s.WorkerUtilization)
+	}
+	for _, stage := range []string{"train", "attack", "detect"} {
+		h := reg.Histogram("fdeta_eval_stage_seconds", "", stageBuckets, obs.L("stage", stage))
+		if got := h.Count(); got != 5 {
+			t.Errorf("stage %s observations = %d, want 5", stage, got)
+		}
+	}
+
+	// A second run resumes everything from the checkpoint: consumers count
+	// as resumed, no stage time is booked, and the artifact is rewritten.
+	ev2, err := RunEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := ev2.Summary
+	if s2.Resumed != 5 || s2.Consumers != 5 {
+		t.Errorf("resumed summary = %+v, want 5/5 resumed", s2)
+	}
+	if s2.Stage.Train != 0 || s2.WorkerUtilization != 0 {
+		t.Errorf("resumed consumers must book no work: %+v", s2)
+	}
+	if got := reg.Counter("fdeta_eval_consumers_total", "", obs.L("result", "resumed")).Value(); got != 5 {
+		t.Errorf("resumed counter = %d, want 5", got)
+	}
+	if got := reg.Counter("fdeta_eval_consumers_total", "", obs.L("result", "ok")).Value(); got != 5 {
+		t.Errorf("ok counter after resume = %d, want 5 (nothing re-evaluated)", got)
+	}
+}
+
+// TestRunSummaryCountsQuarantine checks that a quarantined consumer shows
+// up in both the summary and the quarantined counter.
+func TestRunSummaryCountsQuarantine(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := quickRobustOptions()
+	opts.Metrics = reg
+
+	clean, err := RunEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimID := clean.cells[DetARIMA][Scen1B].Outcomes[0].ConsumerID
+	evalHook = func(c *dataset.Consumer) {
+		if c.ID == victimID {
+			panic("synthetic crash")
+		}
+	}
+	defer func() { evalHook = nil }()
+
+	ev, err := RunEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Quarantined != 1 || ev.Summary.Consumers != 4 {
+		t.Errorf("summary = %+v, want 4 consumers + 1 quarantined", ev.Summary)
+	}
+	if got := reg.Counter("fdeta_eval_consumers_total", "", obs.L("result", "quarantined")).Value(); got != 1 {
+		t.Errorf("quarantined counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fdeta_admin_test_total", "smoke counter").Add(7)
+	srv, err := ServeAdmin("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "fdeta_admin_test_total 7") {
+		t.Errorf("/metrics missing counter sample:\n%s", body)
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", code)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not JSON: %v", err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 7 {
+		t.Errorf("/metrics.json = %s", body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d %s", code, body)
+	}
+
+	// pprof index must be mounted (profiling a live run is the point).
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+}
+
+func TestServeAdminBadAddr(t *testing.T) {
+	if _, err := ServeAdmin("256.0.0.1:bad", nil); err == nil {
+		t.Fatal("bad address did not error")
+	}
+}

@@ -1,0 +1,22 @@
+// Package obs is the repo's dependency-free observability layer: atomic
+// counters, gauges, and fixed-bucket histograms behind a Registry with
+// lock-free hot paths, a point-in-time Snapshot export, Prometheus-text and
+// JSON encoders, component-scoped structured logging via log/slog, and an
+// opt-in HTTP admin endpoint serving /metrics, /healthz, and net/http/pprof.
+//
+// Design constraints, in order:
+//
+//  1. Zero third-party dependencies. The container has no module proxy, so
+//     the layer is built on sync/atomic, log/slog, and net/http only.
+//  2. Lock-free hot paths. Instrument handles are resolved once (usually at
+//     component construction) and then bumped with single atomic operations;
+//     the registry mutex guards only registration and Snapshot assembly.
+//  3. Observation must never perturb results. Instruments record; they do
+//     not gate, sample, or mutate the observed values, so a run with metrics
+//     exported is byte-identical to one without.
+//
+// Metric namespace: every metric is prefixed "fdeta_" and then scoped by the
+// owning layer — fdeta_ami_* (head-end ingestion), fdeta_detect_* (detector
+// verdicts and scores), fdeta_eval_* (the experiments pipeline). DESIGN.md §9
+// documents the full catalogue.
+package obs

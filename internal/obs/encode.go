@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MarshalJSON renders the bucket bound as a string so the +Inf tail bucket
+// survives encoding/json (which rejects non-finite float64s).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatBound(b.UpperBound), b.Count)), nil
+}
+
+// formatBound renders a bucket upper bound the way Prometheus does.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...} with an optional extra label appended
+// (used for histogram le buckets). Empty when there are no labels.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus encodes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metrics sharing a name emit one HELP/TYPE header.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				ls := labelString(m.Labels, L("le", formatBound(b.UpperBound)))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, ls, b.Count); err != nil {
+					return err
+				}
+			}
+			ls := labelString(m.Labels)
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, ls, formatValue(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, ls, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

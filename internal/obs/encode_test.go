@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the text exposition format: instrument order,
+// HELP/TYPE headers shared across a labelled family, cumulative buckets with
+// a +Inf tail, and label escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fdeta_test_readings_total", "readings stored", L("result", "accepted")).Add(41)
+	r.Counter("fdeta_test_readings_total", "readings stored", L("result", "rejected")).Inc()
+	r.Gauge("fdeta_test_active_conns", "sessions being served").Set(3)
+	// Power-of-two observations keep the sum exact in binary floating point,
+	// so the golden text is stable.
+	h := r.Histogram("fdeta_test_latency_seconds", "per-message ingest latency", []float64{0.25, 1})
+	h.Observe(0.125)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.Counter("fdeta_test_weird_total", "label escaping", L("q", `5%"quoted"\slash`)).Inc()
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP fdeta_test_active_conns sessions being served
+# TYPE fdeta_test_active_conns gauge
+fdeta_test_active_conns 3
+# HELP fdeta_test_latency_seconds per-message ingest latency
+# TYPE fdeta_test_latency_seconds histogram
+fdeta_test_latency_seconds_bucket{le="0.25"} 1
+fdeta_test_latency_seconds_bucket{le="1"} 2
+fdeta_test_latency_seconds_bucket{le="+Inf"} 3
+fdeta_test_latency_seconds_sum 2.625
+fdeta_test_latency_seconds_count 3
+# HELP fdeta_test_readings_total readings stored
+# TYPE fdeta_test_readings_total counter
+fdeta_test_readings_total{result="accepted"} 41
+fdeta_test_readings_total{result="rejected"} 1
+# HELP fdeta_test_weird_total label escaping
+# TYPE fdeta_test_weird_total counter
+fdeta_test_weird_total{q="5%\"quoted\"\\slash"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONEncodesInfBound proves the +Inf tail bucket survives the JSON
+// encoder (encoding/json rejects non-finite floats).
+func TestJSONEncodesInfBound(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1}).Observe(2)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metrics []struct {
+			Name    string `json:"name"`
+			Buckets []struct {
+				Le    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("decoding snapshot JSON: %v", err)
+	}
+	if len(decoded.Metrics) != 1 || len(decoded.Metrics[0].Buckets) != 2 {
+		t.Fatalf("unexpected snapshot shape: %s", b.String())
+	}
+	if tail := decoded.Metrics[0].Buckets[1]; tail.Le != "+Inf" || tail.Count != 1 {
+		t.Errorf("tail bucket = %+v, want le=+Inf count=1", tail)
+	}
+}

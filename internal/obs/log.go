@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Structured logging: every component asks for Logger("<component>") and
+// gets a slog.Logger pre-scoped with a component attribute. The process
+// default is silent — library code must never spray a caller's stdout, and
+// the paper-artifact commands require byte-identical output — and binaries
+// opt in with EnableLogging (typically behind a -log-level flag).
+
+// base holds the process-wide base logger.
+var base atomic.Pointer[slog.Logger]
+
+func init() {
+	base.Store(slog.New(discardHandler{}))
+}
+
+// SetLogger replaces the process-wide base logger. A nil logger restores the
+// silent default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	base.Store(l)
+}
+
+// EnableLogging points the base logger at w with a text handler at the given
+// level. It returns the installed logger for immediate use.
+func EnableLogging(w io.Writer, level slog.Leveler) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	base.Store(l)
+	return l
+}
+
+// Logger returns the base logger scoped to one component ("ami", "detect",
+// "eval", "admin", ...).
+func Logger(component string) *slog.Logger {
+	return base.Load().With(slog.String("component", component))
+}
+
+// discardHandler drops every record without formatting it. Cheaper than a
+// TextHandler on io.Discard: Enabled short-circuits before any attribute
+// rendering happens.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives concurrent writers against every
+// instrument kind while a snapshotter loops, then checks the final totals.
+// Run under -race this is the lock-freedom proof for the hot paths.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_counter_total", "test counter")
+	g := r.Gauge("hammer_gauge", "test gauge")
+	h := r.Histogram("hammer_hist", "test histogram", []float64{1, 2, 4})
+
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var writeWG, snapWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot continuously while writers run: Snapshot must never block or
+	// tear an individual instrument read.
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			if len(snap.Metrics) != 3 {
+				t.Errorf("snapshot has %d metrics, want 3", len(snap.Metrics))
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got := c.Value(); got != writers*perG {
+		t.Errorf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := g.Value(); got != float64(writers*perG) {
+		t.Errorf("gauge = %g, want %d", got, writers*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Errorf("histogram count = %d, want %d", got, writers*perG)
+	}
+	// Each writer observes i%5 over perG iterations: sum per writer is
+	// (0+1+2+3+4) * perG/5.
+	wantSum := float64(writers) * 10 * perG / 5
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Name != "hammer_hist" {
+			continue
+		}
+		tail := m.Buckets[len(m.Buckets)-1]
+		if !math.IsInf(tail.UpperBound, 1) {
+			t.Errorf("tail bucket bound = %g, want +Inf", tail.UpperBound)
+		}
+		if tail.Count != writers*perG {
+			t.Errorf("tail cumulative count = %d, want %d", tail.Count, writers*perG)
+		}
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hist", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, math.NaN()} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	m := snap.Metrics[0]
+	// Cumulative: le=1 → {0.5, 1}, le=2 → +{1.5, 2}, +Inf → +{3}; NaN dropped.
+	want := []uint64{2, 4, 5}
+	for i, b := range m.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if m.Count != 5 {
+		t.Errorf("count = %d, want 5", m.Count)
+	}
+	if m.Sum != 8 {
+		t.Errorf("sum = %g, want 8", m.Sum)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", L("x", "1"))
+	b := r.Counter("c_total", "", L("x", "1"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("c_total", "", L("x", "2"))
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
