@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race race-hot bench bench-quick fuzz faults-smoke verify
+.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ vet:
 fmt-check:
 	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+
+# lint: the F-DETA domain linter — determinism, metric namespace, float
+# comparison hygiene, goroutine tracking, wire-error wrapping. Prints one
+# summary line per analyzer (packages / findings / suppressions); exits
+# non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/fdetalint
+
+# lint-suppressions: audit every //lint:ignore directive with its reason.
+lint-suppressions:
+	$(GO) run ./cmd/fdetalint -suppressions
 
 race:
 	$(GO) test -race ./...
@@ -40,14 +51,15 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=5s ./internal/ami
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=5s ./internal/dataset
+	$(GO) test -run='^$$' -fuzz=FuzzParseDirective -fuzztime=5s ./internal/analysis
 
 # faults-smoke: the fault-injection path end to end on a tiny population —
 # the degradation curve must come out, and rate 0 must match the clean run.
 faults-smoke:
 	$(GO) run ./cmd/fdeta faults -consumers 4 -trials 2 -rates 0,0.3
 
-# verify: the gate for every PR — build, vet, gofmt drift, the targeted
-# race pass over the obs/ami/experiments concurrency surfaces plus the
-# full-tree race detector, the quick benchmarks, the fuzz passes, and the
-# fault-injection smoke run.
-verify: build vet fmt-check race-hot race bench-quick fuzz faults-smoke
+# verify: the gate for every PR — build, vet, gofmt drift, the domain
+# linter, the targeted race pass over the obs/ami/experiments concurrency
+# surfaces plus the full-tree race detector, the quick benchmarks, the fuzz
+# passes, and the fault-injection smoke run.
+verify: build vet fmt-check lint race-hot race bench-quick fuzz faults-smoke

@@ -95,7 +95,7 @@ func parseRates(arg string) ([]float64, error) {
 		}
 		r, err := strconv.ParseFloat(part, 64)
 		if err != nil {
-			return nil, fmt.Errorf("faults: bad rate %q: %v", part, err)
+			return nil, fmt.Errorf("faults: bad rate %q: %w", part, err)
 		}
 		rates = append(rates, r)
 	}

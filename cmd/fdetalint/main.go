@@ -1,0 +1,150 @@
+// Command fdetalint is the F-DETA domain linter: it loads the whole module
+// with the stdlib go/* toolchain and enforces the reproduction's invariants
+// — determinism of the evaluation packages, the fdeta_* metric namespace,
+// float-comparison hygiene, goroutine tracking in the AMI/evaluation worker
+// pools, and typed errors across the ami wire boundary.
+//
+// Usage:
+//
+//	fdetalint [-C dir] [-checks list] [-q]   lint the module (exit 1 on findings)
+//	fdetalint -suppressions [-C dir]         audit every //lint:ignore directive
+//
+// Findings print as file:line:col: [check] message, followed by a one-line
+// per-analyzer summary (packages checked / findings / suppressions) so the
+// `make verify` transcript stays scannable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdetalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module directory (or any directory beneath it)")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	quiet := fs.Bool("q", false, "suppress the per-analyzer summary lines")
+	suppressions := fs.Bool("suppressions", false, "list every //lint:ignore directive instead of linting")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *suppressions {
+		return runSuppressions(*dir, stdout, stderr)
+	}
+
+	analyzers := analysis.Analyzers()
+	if *checks != "" {
+		selected, err := selectAnalyzers(analyzers, *checks)
+		if err != nil {
+			fmt.Fprintf(stderr, "fdetalint: %v\n", err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	mod, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdetalint: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	if typeErrs := analysis.TypeErrorFindings(mod); len(typeErrs) > 0 {
+		for _, f := range typeErrs {
+			fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+		}
+		exit = 1
+	}
+
+	res := analysis.Run(mod, analyzers)
+	for _, f := range res.BadDirectives {
+		fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+	}
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+	}
+	if !*quiet {
+		for _, s := range res.Summaries {
+			fmt.Fprintf(stderr, "fdetalint: %s\n", s)
+		}
+	}
+	if res.Unsuppressed() > 0 {
+		exit = 1
+	}
+	return exit
+}
+
+// runSuppressions implements the -suppressions audit: every directive with
+// file:line and reason, then a total. Parse-only, so it is fast enough to
+// run in a pre-commit reflex.
+func runSuppressions(dir string, stdout, stderr io.Writer) int {
+	mod, err := analysis.ParseModule(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdetalint: %v\n", err)
+		return 2
+	}
+	directives, malformed := analysis.Suppressions(mod)
+	for _, d := range directives {
+		rel := relPath(mod.Dir, d.Pos.Filename)
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", rel, d.Pos.Line, strings.Join(d.Checks, ","), d.Reason)
+	}
+	for _, f := range malformed {
+		fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+	}
+	fmt.Fprintf(stderr, "fdetalint: %d suppression(s), %d malformed directive(s)\n",
+		len(directives), len(malformed))
+	if len(malformed) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers filters the suite by the -checks flag.
+func selectAnalyzers(all []*analysis.Analyzer, list string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	known := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	sort.Strings(known)
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relFinding renders a finding with a module-relative path.
+func relFinding(root string, f analysis.Finding) string {
+	f.Pos.Filename = relPath(root, f.Pos.Filename)
+	return f.String()
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI tests run fdetalint in-process against the real module. The
+// whole-module paths type-check from source, so they share one run where
+// possible and skip under -short.
+
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on a clean tree\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree printed findings:\n%s", stdout.String())
+	}
+	for _, check := range []string{"determinism", "metricnames", "floatcmp", "goroutines", "wrapcheck"} {
+		if !strings.Contains(stderr.String(), check) {
+			t.Errorf("summary missing analyzer %q:\n%s", check, stderr.String())
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	// One cheap analyzer keeps the quiet path fast: goroutines touches two
+	// packages.
+	if code := run([]string{"-C", "../..", "-q", "-checks", "goroutines"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-q still printed summaries:\n%s", stderr.String())
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-checks", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown check, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchcheck") || !strings.Contains(stderr.String(), "known:") {
+		t.Errorf("error does not name the bad check and the known set:\n%s", stderr.String())
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for a directory with no go.mod, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for an unknown flag, want 2", code)
+	}
+}
+
+func TestRunSuppressionsAudit(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-suppressions", "-C", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("audit listed no directives; the tree has reasoned suppressions")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, ": [") || !strings.Contains(line, "] ") {
+			t.Errorf("audit line not in file:line: [checks] reason form: %q", line)
+		}
+	}
+	if !strings.Contains(stderr.String(), "suppression(s)") {
+		t.Errorf("audit summary missing total:\n%s", stderr.String())
+	}
+}

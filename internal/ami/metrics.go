@@ -4,6 +4,22 @@ import (
 	"repro/internal/obs"
 )
 
+// The head-end's instrument names. Package-level constants (lint-enforced:
+// fdetalint's metricnames check) so the fdeta_ami_* namespace is auditable
+// in one place and collisions across packages are caught statically.
+const (
+	metricConnsActive   = "fdeta_ami_connections_active"
+	metricConnsTotal    = "fdeta_ami_connections_total"
+	metricConnsRejected = "fdeta_ami_connections_rejected_total"
+	metricConnsDrained  = "fdeta_ami_connections_drained_total"
+	metricReadingsOK    = "fdeta_ami_readings_accepted_total"
+	metricReadingsRej   = "fdeta_ami_readings_rejected_total"
+	metricIdleTimeouts  = "fdeta_ami_idle_timeouts_total"
+	metricForcedCloses  = "fdeta_ami_forced_closes_total"
+	metricCodecErrors   = "fdeta_ami_codec_errors_total"
+	metricIngestLatency = "fdeta_ami_ingest_latency_seconds"
+)
+
 // headEndMetrics holds the registry-backed instruments for one head-end.
 // Every counter the old mutex-and-bump HeadEndStats tracked lives here as an
 // atomic instrument; Stats() re-assembles the legacy snapshot from these, so
@@ -31,27 +47,27 @@ type headEndMetrics struct {
 func newHeadEndMetrics(reg *obs.Registry) *headEndMetrics {
 	return &headEndMetrics{
 		reg: reg,
-		activeConns: reg.Gauge("fdeta_ami_connections_active",
+		activeConns: reg.Gauge(metricConnsActive,
 			"meter sessions currently being served"),
-		connsTotal: reg.Counter("fdeta_ami_connections_total",
+		connsTotal: reg.Counter(metricConnsTotal,
 			"meter sessions accepted since start"),
-		limitRejected: reg.Counter("fdeta_ami_connections_rejected_total",
+		limitRejected: reg.Counter(metricConnsRejected,
 			"connections turned away at accept time", obs.L("reason", "limit")),
-		connsDrained: reg.Counter("fdeta_ami_connections_drained_total",
+		connsDrained: reg.Counter(metricConnsDrained,
 			"sessions bowed out gracefully during shutdown drain"),
-		accepted: reg.Counter("fdeta_ami_readings_accepted_total",
+		accepted: reg.Counter(metricReadingsOK,
 			"readings stored and acknowledged"),
-		rejected: reg.Counter("fdeta_ami_readings_rejected_total",
+		rejected: reg.Counter(metricReadingsRej,
 			"readings refused before storage", obs.L("reason", "protocol")),
-		authFailed: reg.Counter("fdeta_ami_readings_rejected_total",
+		authFailed: reg.Counter(metricReadingsRej,
 			"readings refused before storage", obs.L("reason", "auth")),
-		idleTimeouts: reg.Counter("fdeta_ami_idle_timeouts_total",
+		idleTimeouts: reg.Counter(metricIdleTimeouts,
 			"sessions closed for idling past the read deadline"),
-		forcedCloses: reg.Counter("fdeta_ami_forced_closes_total",
+		forcedCloses: reg.Counter(metricForcedCloses,
 			"connections force-closed at the drain deadline"),
-		codecErrors: reg.Counter("fdeta_ami_codec_errors_total",
+		codecErrors: reg.Counter(metricCodecErrors,
 			"malformed or oversized frames on the wire"),
-		ingestLatency: reg.Histogram("fdeta_ami_ingest_latency_seconds",
+		ingestLatency: reg.Histogram(metricIngestLatency,
 			"reading receipt to acknowledgement, per message", obs.LatencyBuckets()),
 	}
 }

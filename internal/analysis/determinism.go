@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the module packages whose outputs must be
+// bit-reproducible from a seed: everything feeding the Table II/III
+// regression suite. internal/obs (timing instruments, admin uptime) and the
+// cmd layer (profiles, bench recorder) legitimately read wall clocks and
+// are deliberately absent.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/arima":       true,
+	"repro/internal/detect":      true,
+	"repro/internal/attack":      true,
+	"repro/internal/fault":       true,
+	"repro/internal/stats":       true,
+	"repro/internal/experiments": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRandPkgs are the process-global PRNG namespaces. Constructors
+// (New, NewSource, NewPCG, ...) are fine — they produce seeded, threadable
+// generators; package-scope draws are not.
+var globalRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// newDeterminism builds the determinism analyzer: no wall clocks, no global
+// math/rand, no output emitted in map-iteration order inside the packages
+// behind the byte-identical evaluation tables.
+func newDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "evaluation packages must be bit-reproducible: no wall clock, global rand, or map-ordered output",
+		Applies: func(_ *Module, pkg *Package) bool {
+			return deterministicPkgs[pkg.Path] || testdataScoped(pkg, "determinism")
+		},
+		Run: runDeterminism,
+	}
+}
+
+func runDeterminism(mod *Module, pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondeterministicCall(pkg.Info, n, report)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pkg.Info, n, report)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondeterministicCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded RNG) are fine
+	}
+	switch path := fn.Pkg().Path(); {
+	case path == "time" && wallClockFuncs[fn.Name()]:
+		report(call.Pos(), fmt.Sprintf(
+			"time.%s reads the wall clock; thread an injected obs.Clock instead", fn.Name()))
+	case globalRandPkgs[path] && !globalRandAllowed[fn.Name()]:
+		report(call.Pos(), fmt.Sprintf(
+			"%s.%s draws from the process-global PRNG; thread a seeded *rand.Rand (stats.SplitRand) instead",
+			path, fn.Name()))
+	}
+}
+
+// checkMapRangeOutput flags range-over-map loops whose body emits output
+// directly (fmt printing, Write/WriteString calls): the emission order is
+// the map's iteration order, which Go randomizes per run. Loops that merely
+// accumulate and sort afterwards are fine and not flagged.
+func checkMapRangeOutput(info *types.Info, rng *ast.RangeStmt, report func(token.Pos, string)) {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if emitsOutput(fn) {
+			report(call.Pos(), fmt.Sprintf(
+				"%s inside a map-range loop emits output in map-iteration order; collect and sort keys first",
+				fn.Name()))
+			return false
+		}
+		return true
+	})
+}
+
+// emitsOutput recognizes ordered-output sinks: the fmt printing family and
+// io-style Write/WriteString methods.
+func emitsOutput(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// newFloatCmp builds the floatcmp analyzer: no ==/!= on floating-point
+// operands in production code. Rounding makes exact float equality a
+// per-platform, per-optimization-level coin flip — the detectors' verdict
+// thresholds and the KLD math must never hinge on one.
+//
+// Allowed forms:
+//   - x != x and x == x (the standard NaN probe),
+//   - comparisons where either operand is a compile-time constant —
+//     sentinel and boundary semantics (`sigma2 == 0` zero-value defaults,
+//     `pivot == 0` singularity guards, `p == 1` domain edges) are
+//     deliberately exact and an epsilon would be wrong; the dangerous
+//     class is computed-vs-computed equality,
+//   - comparisons inside approved epsilon helpers — functions whose name
+//     contains "approx" or "almost" (case-insensitive), which exist
+//     precisely to centralize the tolerance,
+//   - anything carrying a //lint:ignore floatcmp directive with a reason.
+func newFloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "no ==/!= on floating-point operands outside approved epsilon helpers",
+		Applies: func(mod *Module, pkg *Package) bool {
+			return strings.HasPrefix(pkg.Path, mod.ModPath+"/") || pkg.Path == mod.ModPath
+		},
+		Run: runFloatCmp,
+	}
+}
+
+func runFloatCmp(mod *Module, pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && isEpsilonHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pkg.Info.TypeOf(be.X)) || !isFloat(pkg.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if sameExpr(be.X, be.Y) {
+					return true // x != x: the NaN probe
+				}
+				if isConstExpr(pkg.Info, be.X) || isConstExpr(pkg.Info, be.Y) {
+					return true // sentinel/boundary semantics: deliberately exact
+				}
+				report(be.OpPos, fmt.Sprintf(
+					"floating-point %s comparison; use an epsilon helper (or math.Abs(a-b) <= eps)", be.Op))
+				return true
+			})
+		}
+	}
+}
+
+// isEpsilonHelper reports whether a function name marks an approved
+// tolerance-comparison helper.
+func isEpsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "approx") || strings.Contains(lower, "almost")
+}
+
+// isConstExpr reports whether the type checker evaluated e to a
+// compile-time constant (literals, named constants, constant arithmetic).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple operands (identifiers or selector chains) — enough to recognize
+// the x != x NaN idiom without a full structural comparison.
+func sameExpr(a, b ast.Expr) bool {
+	return exprKey(a) != "" && exprKey(a) == exprKey(b)
+}
+
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// trackedPkgs are the packages whose goroutines must be joinable: the AMI
+// head-end (graceful shutdown drains every connection handler) and the
+// evaluation worker pool (RunEvaluation must not return while a worker
+// still touches the caller's registry or checkpoint file). An untracked
+// goroutine here is the exact leak class PR 4 fixed by hand.
+var trackedPkgs = map[string]bool{
+	"repro/internal/ami":         true,
+	"repro/internal/experiments": true,
+}
+
+// newGoroutines builds the goroutines analyzer: every go statement in the
+// tracked packages signals its completion to a sync.WaitGroup — either the
+// spawned function literal calls (*sync.WaitGroup).Done (usually deferred)
+// or Wait (drain watchers), or the spawned same-package function's body
+// does. Connection-registry bookkeeping rides on the same WaitGroup in
+// this codebase; genuinely fire-and-forget goroutines must carry a
+// //lint:ignore goroutines directive explaining who reaps them.
+func newGoroutines() *Analyzer {
+	return &Analyzer{
+		Name: "goroutines",
+		Doc:  "go statements in ami/experiments must be tied to a sync.WaitGroup-style tracker",
+		Applies: func(_ *Module, pkg *Package) bool {
+			return trackedPkgs[pkg.Path] || testdataScoped(pkg, "goroutines")
+		},
+		Run: runGoroutines,
+	}
+}
+
+func runGoroutines(mod *Module, pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineTracked(pkg, g.Call) {
+				report(g.Pos(), "goroutine is not tied to a sync.WaitGroup (no Done/Wait in its body); "+
+					"track it or explain its reaper in a //lint:ignore goroutines directive")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineTracked decides whether the spawned call signals a WaitGroup.
+func goroutineTracked(pkg *Package, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodySignalsWaitGroup(pkg, lit.Body, 1)
+	}
+	// go h.acceptLoop(ln): look one hop into a same-package callee.
+	if fn := calleeOf(pkg.Info, call); fn != nil {
+		if body := funcBody(pkg, fn); body != nil {
+			return bodySignalsWaitGroup(pkg, body, 1)
+		}
+	}
+	return false
+}
+
+// bodySignalsWaitGroup walks a function body for a Done or Wait call on a
+// sync.WaitGroup. depth allows one hop through same-package helpers (the
+// `go h.acceptLoop(ln)` shape, where acceptLoop defers wg.Done itself).
+func bodySignalsWaitGroup(pkg *Package, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // nested goroutines are judged on their own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		if isMethodOn(fn, "sync", "WaitGroup", "Done") || isMethodOn(fn, "sync", "WaitGroup", "Wait") {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			if inner := funcBody(pkg, fn); inner != nil && bodySignalsWaitGroup(pkg, inner, depth-1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcBody returns the body of a function or method declared in pkg, nil
+// for anything out of package (or interface methods).
+func funcBody(pkg *Package, fn *types.Func) *ast.BlockStmt {
+	if fn.Pkg() == nil || pkg.Types == nil || fn.Pkg().Path() != pkg.Types.Path() {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if pkg.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// obsPkgPath is the module's metrics package; registrations are calls to
+// (*obs.Registry).Counter/Gauge/Histogram.
+const obsPkgPath = "repro/internal/obs"
+
+// metricNameRE is the module's metric namespace: fdeta_-prefixed
+// snake_case with the conventional unit/kind suffixes.
+var metricNameRE = regexp.MustCompile(`^fdeta_[a-z0-9_]+(_total|_seconds|_bytes|_ratio)?$`)
+
+// registration records one instrument-name use for the cross-module
+// uniqueness verdict.
+type registration struct {
+	pkg      string // registering package path
+	constPos token.Pos
+	callPos  token.Pos
+}
+
+// newMetricNames builds the metricnames analyzer: every obs instrument
+// name is a package-level constant matching the fdeta_* namespace, and no
+// two packages (or two constants) claim the same name.
+func newMetricNames() *Analyzer {
+	// byName accumulates registrations across packages for Finish.
+	byName := make(map[string][]registration)
+
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "obs instrument names are fdeta_* package-level constants, unique across the module",
+	}
+	a.Applies = func(_ *Module, pkg *Package) bool {
+		// The obs package itself registers nothing in production code and
+		// its tests use scratch names by design.
+		return pkg.Path != obsPkgPath
+	}
+	a.Run = func(mod *Module, pkg *Package, report func(token.Pos, string)) {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if !isRegistryRegistration(fn) || len(call.Args) == 0 {
+					return true
+				}
+				nameArg := ast.Unparen(call.Args[0])
+				cnst := packageLevelConst(pkg.Info, nameArg)
+				if cnst == nil {
+					report(nameArg.Pos(), fmt.Sprintf(
+						"obs.%s name must be a package-level constant, not %s",
+						fn.Name(), describeExpr(pkg.Info, nameArg)))
+					return true
+				}
+				val := constant.StringVal(cnst.Val())
+				if !metricNameRE.MatchString(val) {
+					report(nameArg.Pos(), fmt.Sprintf(
+						"metric name %q does not match %s", val, metricNameRE))
+				}
+				byName[val] = append(byName[val], registration{
+					pkg: pkg.Path, constPos: cnst.Pos(), callPos: nameArg.Pos(),
+				})
+				return true
+			})
+		}
+	}
+	a.Finish = func(mod *Module, report func(token.Pos, string)) {
+		names := make([]string, 0, len(byName))
+		for name := range byName {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			regs := byName[name]
+			owners := make(map[string]bool)
+			consts := make(map[token.Pos]bool)
+			for _, r := range regs {
+				owners[r.pkg] = true
+				consts[r.constPos] = true
+			}
+			// One constant, one owning package: re-registration with
+			// different labels is the same metric family and is fine.
+			if len(owners) > 1 {
+				report(regs[0].callPos, fmt.Sprintf(
+					"metric name %q is registered by %d packages (%s); names are owned by exactly one package",
+					name, len(owners), sortedKeys(owners)))
+			} else if len(consts) > 1 {
+				report(regs[0].callPos, fmt.Sprintf(
+					"metric name %q is declared by %d distinct constants; declare it once", name, len(consts)))
+			}
+		}
+	}
+	return a
+}
+
+// isRegistryRegistration reports whether fn is one of the obs.Registry
+// instrument constructors.
+func isRegistryRegistration(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	return isMethodOn(fn, obsPkgPath, "Registry", fn.Name())
+}
+
+// packageLevelConst resolves expr to a package-level string constant (an
+// identifier or pkg.Name selector); nil if it is anything else.
+func packageLevelConst(info *types.Info, expr ast.Expr) *types.Const {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	cnst, ok := obj.(*types.Const)
+	if !ok || cnst.Pkg() == nil {
+		return nil
+	}
+	if cnst.Parent() != cnst.Pkg().Scope() {
+		return nil // function-local const: invisible to reviewers scanning the namespace
+	}
+	if cnst.Val().Kind() != constant.String {
+		return nil
+	}
+	return cnst
+}
+
+// describeExpr names the offending expression kind for the diagnostic.
+func describeExpr(info *types.Info, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return fmt.Sprintf("the string literal %s", e.Value)
+	case *ast.Ident:
+		if _, ok := info.Uses[e].(*types.Const); ok {
+			return fmt.Sprintf("the function-local constant %q", e.Name)
+		}
+		return fmt.Sprintf("the variable %q", e.Name)
+	case *ast.BinaryExpr:
+		return "a computed string"
+	default:
+		return "a non-constant expression"
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one parsed //lint:ignore suppression.
+type Directive struct {
+	// Pos is where the directive comment starts.
+	Pos token.Position
+	// Checks are the analyzer names the directive silences.
+	Checks []string
+	// Reason is the mandatory justification.
+	Reason string
+	// TargetLine is the source line the directive covers: its own line for
+	// a trailing comment, the next line for a standalone one.
+	TargetLine int
+}
+
+func (d Directive) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, strings.Join(d.Checks, ","), d.Reason)
+}
+
+const directivePrefix = "//lint:ignore"
+
+// ParseDirective parses one comment line. It returns ok=false when the
+// comment is not a lint directive at all, and a non-nil error when it is
+// one but malformed: the format is
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// where both the check list and the reason are mandatory — a suppression
+// without a recorded reason is exactly the folklore this suite replaces.
+func ParseDirective(text string) (checks []string, reason string, ok bool, err error) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil, "", false, nil
+	}
+	rest := text[len(directivePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //lint:ignoreXYZ — some other tool's namespace.
+		return nil, "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true, fmt.Errorf("missing check name and reason")
+	}
+	for _, c := range strings.Split(fields[0], ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return nil, "", true, fmt.Errorf("empty check name in %q", fields[0])
+		}
+		checks = append(checks, c)
+	}
+	reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if reason == "" {
+		return nil, "", true, fmt.Errorf("missing reason after check %q", fields[0])
+	}
+	return checks, reason, true, nil
+}
+
+// suppressionIndex resolves findings against the module's directives.
+type suppressionIndex struct {
+	// byTarget maps file → target line → directives covering that line.
+	byTarget   map[string]map[int][]*Directive
+	directives []Directive
+	malformed  []Finding
+}
+
+func newSuppressionIndex(mod *Module) *suppressionIndex {
+	idx := &suppressionIndex{byTarget: make(map[string]map[int][]*Directive)}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			name := mod.Fset.Position(f.Package).Filename
+			idx.addFile(mod.Fset, f, pkg.Source[name])
+		}
+	}
+	sort.Slice(idx.directives, func(i, j int) bool {
+		a, b := idx.directives[i].Pos, idx.directives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return idx
+}
+
+// addFile scans one file's comments for directives. src is the raw file
+// content, used to decide whether a directive trails code on its own line
+// (covers that line) or stands alone (covers the next line).
+func (idx *suppressionIndex) addFile(fset *token.FileSet, f *ast.File, src []byte) {
+	var lines [][]byte
+	if src != nil {
+		lines = bytes.Split(src, []byte("\n"))
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			checks, reason, ok, err := ParseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if err != nil {
+				idx.malformed = append(idx.malformed, Finding{
+					Check: "lint", Pos: pos,
+					Message: fmt.Sprintf("malformed %s directive: %v", directivePrefix, err),
+				})
+				continue
+			}
+			target := pos.Line + 1
+			if pos.Line-1 < len(lines) {
+				before := lines[pos.Line-1]
+				if pos.Column-1 <= len(before) && len(bytes.TrimSpace(before[:pos.Column-1])) > 0 {
+					target = pos.Line // trailing comment: covers its own line
+				}
+			}
+			d := Directive{Pos: pos, Checks: checks, Reason: reason, TargetLine: target}
+			idx.directives = append(idx.directives, d)
+			file := idx.byTarget[pos.Filename]
+			if file == nil {
+				file = make(map[int][]*Directive)
+				idx.byTarget[pos.Filename] = file
+			}
+			stored := d
+			file[target] = append(file[target], &stored)
+		}
+	}
+}
+
+// match reports whether a finding at pos for the named check is covered.
+func (idx *suppressionIndex) match(pos token.Position, check string) (reason string, ok bool) {
+	for _, d := range idx.byTarget[pos.Filename][pos.Line] {
+		for _, c := range d.Checks {
+			if c == check || c == "all" {
+				return d.Reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Suppressions lists every //lint:ignore directive in the loaded module,
+// plus malformed ones as findings — the -suppressions audit mode. It only
+// needs parsed files, so callers may use a Module from LoadModule or the
+// lighter parse produced by ParseModule.
+func Suppressions(mod *Module) ([]Directive, []Finding) {
+	idx := newSuppressionIndex(mod)
+	return idx.directives, idx.malformed
+}

@@ -1,0 +1,31 @@
+// Package bad seeds determinism violations for the golden test: wall-clock
+// reads, global-PRNG draws, and map-ordered output.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Timestamp reads the wall clock directly.
+func Timestamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+// Elapsed measures with time.Since.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "time.Since reads the wall clock"
+}
+
+// Draw uses the process-global PRNG.
+func Draw() int {
+	return rand.Intn(6) // want "process-global PRNG"
+}
+
+// Dump prints a map in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map-iteration order"
+	}
+}

@@ -1,0 +1,36 @@
+// Package good is the fixed form of the determinism fixture: injected
+// clock, seeded threaded RNG, sorted keys before output.
+package good
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the injected timing dependency.
+type Clock interface{ Now() time.Time }
+
+// Elapsed reads time only through the injected clock.
+func Elapsed(clk Clock, start time.Time) float64 {
+	return clk.Now().Sub(start).Seconds()
+}
+
+// Draw uses an explicitly threaded, seeded generator.
+func Draw(rng *rand.Rand) int { return rng.Intn(6) }
+
+// Seeded constructs a seeded generator — constructors are allowed.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Dump emits map entries in sorted-key order.
+func Dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,13 @@
+// Package bad seeds float-comparison violations for the golden test:
+// computed-vs-computed equality.
+package bad
+
+// Equal compares two computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Changed compares two computed floats for inequality.
+func Changed(prev, next float64) bool {
+	return prev != next // want "floating-point != comparison"
+}

@@ -1,0 +1,28 @@
+// Package good is the fixed form of the floatcmp fixture: an approved
+// epsilon helper, the NaN probe, and constant-operand sentinel checks.
+package good
+
+import "math"
+
+const eps = 1e-9
+
+// ApproxEqual is an approved epsilon helper; the exact comparison inside
+// it is the short-circuit, the tolerance is the point.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// IsNaN uses the standard x != x probe.
+func IsNaN(x float64) bool { return x != x }
+
+// DefaultSigma applies a zero-value default — a deliberately exact
+// constant-operand comparison.
+func DefaultSigma(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return sigma
+}

@@ -1,0 +1,15 @@
+// Package bad seeds goroutine-tracking violations for the golden test:
+// fire-and-forget spawns nothing can join.
+package bad
+
+// Leak spawns an untracked function value.
+func Leak(work func()) {
+	go work() // want "not tied to a sync.WaitGroup"
+}
+
+// LeakLit spawns an untracked literal.
+func LeakLit(ch chan<- int) {
+	go func() { // want "not tied to a sync.WaitGroup"
+		ch <- 1
+	}()
+}

@@ -1,0 +1,35 @@
+// Package good is the fixed form of the goroutines fixture: every spawn
+// signals a sync.WaitGroup, directly or one call deep.
+package good
+
+import "sync"
+
+// Spawn tracks the worker on wg.
+func Spawn(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Watcher is the drain-watcher shape: Wait converted to a channel close.
+func Watcher(wg *sync.WaitGroup) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+type server struct{ wg sync.WaitGroup }
+
+// Start launches the accept loop, which reaps itself via Done one call
+// deep — the `go h.acceptLoop(ln)` shape.
+func (s *server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *server) loop() { defer s.wg.Done() }

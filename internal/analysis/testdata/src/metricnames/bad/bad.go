@@ -1,0 +1,23 @@
+// Package bad seeds metric-namespace violations for the golden test:
+// literal names, namespace-pattern breaks, duplicate constants, and
+// non-constant names.
+package bad
+
+import "repro/internal/obs"
+
+const (
+	badPattern = "fdeta_Bad-Name"
+	dupA       = "fdeta_dup_total"
+)
+
+const dupB = "fdeta_dup_total"
+
+// Register registers one instrument per violation class.
+func Register(reg *obs.Registry) {
+	reg.Counter("fdeta_literal_total", "literal name") // want "must be a package-level constant"
+	reg.Gauge(badPattern, "bad pattern")               // want "does not match"
+	reg.Counter(dupA, "dup a")                         // want "distinct constants"
+	reg.Counter(dupB, "dup b")
+	local := "fdeta_var_total"
+	reg.Counter(local, "variable name") // want "must be a package-level constant"
+}

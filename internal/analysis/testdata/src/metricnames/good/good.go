@@ -1,0 +1,18 @@
+// Package good is the fixed form of the metricnames fixture: every name a
+// package-level constant in the fdeta_* namespace; one constant reused
+// across label sets is one metric family, not a collision.
+package good
+
+import "repro/internal/obs"
+
+const (
+	metricRequests = "fdeta_good_requests_total"
+	metricLatency  = "fdeta_good_latency_seconds"
+)
+
+// Register registers a labelled counter family and a histogram.
+func Register(reg *obs.Registry) {
+	reg.Counter(metricRequests, "requests served", obs.L("result", "ok"))
+	reg.Counter(metricRequests, "requests served", obs.L("result", "error"))
+	reg.Histogram(metricLatency, "request latency", obs.LatencyBuckets())
+}

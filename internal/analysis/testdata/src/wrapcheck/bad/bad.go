@@ -1,0 +1,23 @@
+// Package bad seeds wire-boundary error violations for the golden test:
+// chain-flattening formatting and stringly error matching.
+package bad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wrap flattens the error chain with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("collect: %v", err) // want "flatten the chain"
+}
+
+// IsBusy string-matches the message.
+func IsBusy(err error) bool {
+	return strings.Contains(err.Error(), "busy") // want "matches message text"
+}
+
+// IsExact compares the message.
+func IsExact(err error) bool {
+	return err.Error() == "rejected" // want "compares message text"
+}

@@ -1,0 +1,21 @@
+// Package good is the fixed form of the wrapcheck fixture: %w wrapping and
+// sentinel classification.
+package good
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBusy is the typed sentinel callers branch on.
+var ErrBusy = errors.New("busy")
+
+// Wrap keeps the chain intact with %w.
+func Wrap(err error) error {
+	return fmt.Errorf("collect: %w", err)
+}
+
+// IsBusy classifies by sentinel, not message text.
+func IsBusy(err error) bool {
+	return errors.Is(err, ErrBusy)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// amiPkgPath is the wire-boundary package whose errors must stay machine
+// classifiable: callers branch on errors.Is(ami.ErrBusy) and
+// errors.As(*ami.AuthError), never on message text.
+const amiPkgPath = "repro/internal/ami"
+
+// newWrapCheck builds the wrapcheck analyzer. In internal/ami and every
+// package importing it, it flags the two ways a typed wire error decays
+// into a string:
+//
+//   - fmt.Errorf formatting an error operand without %w — the chain breaks
+//     and errors.Is/As stop seeing the sentinel;
+//   - matching err.Error() text (strings.Contains & friends, or ==/!= on
+//     the message) — the stringly matching PR 2 removed.
+func newWrapCheck() *Analyzer {
+	return &Analyzer{
+		Name: "wrapcheck",
+		Doc:  "errors crossing the ami wire boundary stay typed or %w-wrapped, never stringly matched",
+		Applies: func(_ *Module, pkg *Package) bool {
+			if pkg.Path == amiPkgPath || testdataScoped(pkg, "wrapcheck") {
+				return true
+			}
+			if pkg.Types == nil {
+				return false
+			}
+			for _, imp := range pkg.Types.Imports() {
+				if imp.Path() == amiPkgPath {
+					return true
+				}
+			}
+			return false
+		},
+		Run: runWrapCheck,
+	}
+}
+
+func runWrapCheck(mod *Module, pkg *Package, report func(token.Pos, string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pkg.Info, n, report)
+				checkStringMatchCall(pkg.Info, n, report)
+			case *ast.BinaryExpr:
+				checkErrorTextCompare(pkg.Info, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument without enough %w verbs to keep every error in the chain.
+func checkErrorfWrap(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := calleeOf(info, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		if isErrorType(info.TypeOf(arg)) {
+			errArgs++
+		}
+	}
+	if errArgs == 0 {
+		return
+	}
+	wraps := strings.Count(strings.ReplaceAll(lit.Value, "%%", ""), "%w")
+	if wraps < errArgs {
+		report(call.Pos(), fmt.Sprintf(
+			"fmt.Errorf formats %d error value(s) with only %d %%w verb(s); non-%%w verbs flatten the chain and break errors.Is/As",
+			errArgs, wraps))
+	}
+}
+
+// stringMatchFuncs are the strings-package predicates that turn an error
+// message into a control-flow decision.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+// checkStringMatchCall flags strings.Contains(err.Error(), ...) shapes.
+func checkStringMatchCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchFuncs[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorMessageCall(info, arg) {
+			report(call.Pos(), fmt.Sprintf(
+				"strings.%s on err.Error() matches message text; use errors.Is/errors.As against the typed ami errors",
+				fn.Name()))
+			return
+		}
+	}
+}
+
+// checkErrorTextCompare flags err.Error() == "..." comparisons.
+func checkErrorTextCompare(info *types.Info, be *ast.BinaryExpr, report func(token.Pos, string)) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorMessageCall(info, be.X) || isErrorMessageCall(info, be.Y) {
+		report(be.OpPos, fmt.Sprintf(
+			"%s on err.Error() compares message text; use errors.Is/errors.As against the typed ami errors", be.Op))
+	}
+}
+
+// isErrorMessageCall reports whether expr is a call of the Error() method
+// on an error-typed receiver.
+func isErrorMessageCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(info.TypeOf(sel.X))
+}

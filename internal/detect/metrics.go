@@ -29,6 +29,17 @@ func SetMetricsRegistry(r *obs.Registry) {
 // MetricsRegistry returns the registry new detectors instrument into.
 func MetricsRegistry() *obs.Registry { return metricsReg.Load() }
 
+// The detector instrument names. Package-level constants (lint-enforced:
+// fdetalint's metricnames check) so the fdeta_detect_* namespace is
+// auditable in one place.
+const (
+	metricVerdicts       = "fdeta_detect_verdicts_total"
+	metricDetectErrors   = "fdeta_detect_errors_total"
+	metricScore          = "fdeta_detect_score"
+	metricWindowCoverage = "fdeta_detect_stream_window_coverage"
+	metricWindowFilled   = "fdeta_detect_stream_window_filled"
+)
+
 // scoreBuckets span the detectors' test statistics: violation fractions in
 // [0, 1], KLD scores of a few bits, and PCA residual norms up to tens.
 var scoreBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25}
@@ -48,15 +59,15 @@ func newDetectorMetrics(name string) *detectorMetrics {
 	reg := metricsReg.Load()
 	det := obs.L("detector", name)
 	return &detectorMetrics{
-		anomalous: reg.Counter("fdeta_detect_verdicts_total",
+		anomalous: reg.Counter(metricVerdicts,
 			"verdicts issued per detector and outcome", det, obs.L("verdict", "anomalous")),
-		normal: reg.Counter("fdeta_detect_verdicts_total",
+		normal: reg.Counter(metricVerdicts,
 			"verdicts issued per detector and outcome", det, obs.L("verdict", "normal")),
-		inconclusive: reg.Counter("fdeta_detect_verdicts_total",
+		inconclusive: reg.Counter(metricVerdicts,
 			"verdicts issued per detector and outcome", det, obs.L("verdict", "inconclusive")),
-		errors: reg.Counter("fdeta_detect_errors_total",
+		errors: reg.Counter(metricDetectErrors,
 			"detection calls that returned an error", det),
-		score: reg.Histogram("fdeta_detect_score",
+		score: reg.Histogram(metricScore,
 			"test-statistic distribution of definite verdicts", scoreBuckets, det),
 	}
 }

@@ -69,9 +69,9 @@ func (d *KLDDetector) NewStreamWithPolicy(seedWeek timeseries.Series, policy Qua
 		window: seedWeek.Clone(),
 		bad:    make([]bool, timeseries.SlotsPerWeek),
 		policy: policy,
-		covGauge: reg.Gauge("fdeta_detect_stream_window_coverage",
+		covGauge: reg.Gauge(metricWindowCoverage,
 			"trusted fraction of the streaming window", det),
-		fillGauge: reg.Gauge("fdeta_detect_stream_window_filled",
+		fillGauge: reg.Gauge(metricWindowFilled,
 			"live fraction of the streaming window", det),
 	}, nil
 }

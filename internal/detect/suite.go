@@ -120,6 +120,7 @@ func (s *TrainedSuite) Integrated() *IntegratedARIMADetector { return s.integrat
 // significance returns the suite's shared detector; other levels share its
 // histogram and training divergences and recompute only the percentile.
 func (s *TrainedSuite) KLD(alpha float64) (*KLDDetector, error) {
+	//lint:ignore floatcmp significance levels are assigned literals, never computed; exact match selects the pre-built detector
 	if alpha == s.kldBase.cfg.Significance {
 		return s.kldBase, nil
 	}
@@ -132,6 +133,7 @@ func (s *TrainedSuite) PriceKLD(alpha float64) (*PriceKLDDetector, error) {
 	if s.priceBase == nil {
 		return nil, fmt.Errorf("detect: suite trained without a price tier function")
 	}
+	//lint:ignore floatcmp significance levels are assigned literals, never computed; exact match selects the pre-built detector
 	if alpha == s.priceBase.cfg.Significance {
 		return s.priceBase, nil
 	}

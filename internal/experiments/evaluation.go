@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
@@ -248,7 +247,8 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	wallStart := time.Now()
+	clk := opts.clock()
+	wallStart := clk.Now()
 	met := newEvalMetrics(opts.Metrics)
 	ds, err := dataset.Generate(opts.Dataset)
 	if err != nil {
@@ -311,9 +311,9 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			case sem <- struct{}{}:
 			}
 			defer func() { <-sem }()
-			start := time.Now()
+			start := clk.Now()
 			ce := evaluateConsumerSafe(&consumers[i], opts)
-			ce.totalNS = time.Since(start).Nanoseconds()
+			ce.totalNS = clk.Since(start).Nanoseconds()
 			evals[i] = ce
 			// Bump instruments as workers finish so a live run can be
 			// watched over the admin endpoint.
@@ -405,7 +405,7 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 
 	// Run-level accounting. Busy time is the per-consumer wall time summed
 	// over workers; resumed consumers contribute nothing.
-	wall := time.Since(wallStart).Seconds()
+	wall := clk.Since(wallStart).Seconds()
 	sum := RunSummary{
 		Consumers:   ev.Consumers,
 		Quarantined: len(ev.Quarantined),
@@ -443,7 +443,8 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 		ce.err = err
 		return ce
 	}
-	stageStart := time.Now()
+	clk := opts.clock()
+	stageStart := clk.Now()
 
 	train, test, err := c.Demand.Split(opts.TrainWeeks)
 	if err != nil {
@@ -507,8 +508,8 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	if err != nil {
 		return fail(fmt.Errorf("price kld10: %w", err))
 	}
-	ce.trainNS = time.Since(stageStart).Nanoseconds()
-	stageStart = time.Now()
+	ce.trainNS = clk.Since(stageStart).Nanoseconds()
+	stageStart = clk.Now()
 
 	// Generate the attack vectors.
 	rng := stats.SplitRand(opts.Seed, int64(c.ID))
@@ -543,8 +544,8 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	if err != nil {
 		return fail(fmt.Errorf("swap: %w", err))
 	}
-	ce.attackNS = time.Since(stageStart).Nanoseconds()
-	stageStart = time.Now()
+	ce.attackNS = clk.Since(stageStart).Nanoseconds()
+	stageStart = clk.Now()
 
 	// Gains per scenario and attack vector.
 	gain1B := func(vec timeseries.Series) (kwh, usd float64, err error) {
@@ -663,7 +664,7 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 			ce.outcomes[dp.id][s] = o
 		}
 	}
-	ce.detectNS = time.Since(stageStart).Nanoseconds()
+	ce.detectNS = clk.Since(stageStart).Nanoseconds()
 	return ce
 }
 

@@ -77,6 +77,22 @@ type Options struct {
 	// Excluded from the checkpoint fingerprint: scraping a run does not
 	// invalidate its resume state.
 	Metrics *obs.Registry `json:"-"`
+	// Clock is the timing source behind stage timings, worker-utilization
+	// accounting, and the run summary. Nil selects the wall clock; tests
+	// inject a fake to pin timing-derived fields. Timings never influence
+	// verdicts, so the clock — like Metrics — is excluded from the
+	// checkpoint fingerprint.
+	Clock obs.Clock `json:"-"`
+}
+
+// clock returns the configured timing source, defaulting to the wall
+// clock. The evaluation code reads time only through this accessor — the
+// determinism lint forbids direct time.Now/Since calls in this package.
+func (o Options) clock() obs.Clock {
+	if o.Clock == nil {
+		return obs.Wall()
+	}
+	return o.Clock
 }
 
 // PaperOptions reproduces the paper's full protocol.

@@ -69,6 +69,17 @@ func (s RunSummary) WriteFile(path string) error {
 	return nil
 }
 
+// The evaluation-run instrument names. Package-level constants
+// (lint-enforced: fdetalint's metricnames check) so the fdeta_eval_*
+// namespace is auditable in one place.
+const (
+	metricStageSeconds   = "fdeta_eval_stage_seconds"
+	metricConsumers      = "fdeta_eval_consumers_total"
+	metricInconclusive   = "fdeta_eval_outcomes_inconclusive_total"
+	metricWorkers        = "fdeta_eval_workers"
+	metricWorkerUtilized = "fdeta_eval_worker_utilization"
+)
+
 // stageBuckets span per-consumer stage durations: milliseconds for the
 // verdict loop up to a minute for pathological ARIMA fits.
 var stageBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
@@ -92,21 +103,21 @@ func newEvalMetrics(reg *obs.Registry) *evalMetrics {
 		reg = obs.Default()
 	}
 	stage := func(name string) *obs.Histogram {
-		return reg.Histogram("fdeta_eval_stage_seconds",
+		return reg.Histogram(metricStageSeconds,
 			"per-consumer stage durations", stageBuckets, obs.L("stage", name))
 	}
 	return &evalMetrics{
-		ok: reg.Counter("fdeta_eval_consumers_total",
+		ok: reg.Counter(metricConsumers,
 			"consumers finished per result", obs.L("result", "ok")),
-		quarantined: reg.Counter("fdeta_eval_consumers_total",
+		quarantined: reg.Counter(metricConsumers,
 			"consumers finished per result", obs.L("result", "quarantined")),
-		resumed: reg.Counter("fdeta_eval_consumers_total",
+		resumed: reg.Counter(metricConsumers,
 			"consumers finished per result", obs.L("result", "resumed")),
-		inconclusive: reg.Counter("fdeta_eval_outcomes_inconclusive_total",
+		inconclusive: reg.Counter(metricInconclusive,
 			"detector×scenario outcomes declined for lack of trusted readings"),
-		workers: reg.Gauge("fdeta_eval_workers",
+		workers: reg.Gauge(metricWorkers,
 			"worker-pool size of the current run"),
-		utilization: reg.Gauge("fdeta_eval_worker_utilization",
+		utilization: reg.Gauge(metricWorkerUtilized,
 			"busy worker-seconds over pool-capacity-seconds"),
 		trainStage:  stage("train"),
 		attackStage: stage("attack"),

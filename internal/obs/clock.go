@@ -1,0 +1,23 @@
+package obs
+
+import "time"
+
+// Clock abstracts the wall clock behind the timing instrumentation. The
+// evaluation packages are forbidden (and lint-enforced: fdetalint's
+// determinism check) from calling time.Now directly — their outputs must
+// be bit-reproducible from a seed — so stage timings and run summaries
+// read time through an injected Clock instead. Production callers use
+// Wall(); tests inject a fake to make timing-derived fields deterministic.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+// wallClock is the real wall clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Wall returns the process wall clock.
+func Wall() Clock { return wallClock{} }

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClock(t *testing.T) {
+	clk := Wall()
+	start := clk.Now()
+	if since := clk.Since(start); since < 0 {
+		t.Errorf("Since(now) = %v, want >= 0", since)
+	}
+	if clk.Now().Before(start) {
+		t.Error("wall clock went backwards")
+	}
+	if time.Since(start) < 0 {
+		t.Error("Wall().Now() is not wall time")
+	}
+}

@@ -53,6 +53,7 @@ func LinearEdges(lo, hi float64, bins int) []float64 {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	//lint:ignore floatcmp exact degeneracy test: only a truly empty range needs the synthetic pad, near-equal bounds bin fine
 	if lo == hi {
 		pad := math.Abs(lo) * 1e-9
 		if pad == 0 {
