@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick fuzz faults-smoke verify
+.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,17 @@ bench-quick:
 bench:
 	$(GO) run ./cmd/fdeta bench
 
+# bench-population: smoke the population-training benchmark on a small
+# fleet and assert the report carries a positive consumers-per-second and
+# the trainer metrics (no jq in CI, so plain grep over the JSON).
+bench-population:
+	$(GO) run ./cmd/fdeta bench -population -consumers 100 -trainweeks 8 -o /tmp/fdeta-bench-population.json
+	@grep -q '"consumers_per_sec": [1-9]' /tmp/fdeta-bench-population.json || \
+		{ echo "bench-population: consumers_per_sec missing or zero"; exit 1; }
+	@for key in speedup_vs_naive warm_hits grid_fits_skipped; do \
+		grep -q "\"$$key\"" /tmp/fdeta-bench-population.json || \
+			{ echo "bench-population: $$key missing from report"; exit 1; }; done
+
 # fuzz: short fuzz passes over the AMI wire codec and the dataset CSV
 # parser so envelope-validation and parser regressions are caught pre-merge.
 fuzz:
@@ -60,6 +71,7 @@ faults-smoke:
 
 # verify: the gate for every PR — build, vet, gofmt drift, the domain
 # linter, the targeted race pass over the obs/ami/experiments concurrency
-# surfaces plus the full-tree race detector, the quick benchmarks, the fuzz
-# passes, and the fault-injection smoke run.
-verify: build vet fmt-check lint race-hot race bench-quick fuzz faults-smoke
+# surfaces plus the full-tree race detector, the quick benchmarks, the
+# population-training smoke, the fuzz passes, and the fault-injection
+# smoke run.
+verify: build vet fmt-check lint race-hot race bench-quick bench-population fuzz faults-smoke

@@ -149,7 +149,9 @@ Extensions:
   bench              run table + component benchmarks, write BENCH_<date>.json
 
 Evaluation commands accept -parallelism (worker goroutines; results are
-identical at any setting), -cpuprofile/-memprofile (pprof output files),
+identical at any setting), -warmstart (pre-train suites with the
+clustered population trainer; metrics stay within the pinned tolerance
+of cold training), -cpuprofile/-memprofile (pprof output files),
 -fault SPEC (inject meter faults into the monitored weeks), -checkpoint
 FILE (crash-safe per-consumer progress; rerun to resume), and -strict
 (fail fast instead of quarantining a failing consumer).

@@ -19,6 +19,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/fault":       true,
 	"repro/internal/stats":       true,
 	"repro/internal/experiments": true,
+	"repro/internal/timeseries":  true,
 }
 
 // wallClockFuncs are the time package functions that read the wall clock.

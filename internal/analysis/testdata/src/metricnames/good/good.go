@@ -8,6 +8,11 @@ import "repro/internal/obs"
 const (
 	metricRequests = "fdeta_good_requests_total"
 	metricLatency  = "fdeta_good_latency_seconds"
+	// The trainer-metric shapes: a labelled counter family shared across
+	// outcomes and a suffix-free gauge, mirroring the fdeta_train_*
+	// instruments the population trainer registers.
+	metricTrainWarm    = "fdeta_good_train_warm_starts_total"
+	metricTrainWorkers = "fdeta_good_train_workers"
 )
 
 // Register registers a labelled counter family and a histogram.
@@ -15,4 +20,11 @@ func Register(reg *obs.Registry) {
 	reg.Counter(metricRequests, "requests served", obs.L("result", "ok"))
 	reg.Counter(metricRequests, "requests served", obs.L("result", "error"))
 	reg.Histogram(metricLatency, "request latency", obs.LatencyBuckets())
+}
+
+// RegisterTrainer registers the trainer-shaped instruments.
+func RegisterTrainer(reg *obs.Registry) {
+	reg.Counter(metricTrainWarm, "warm-start attempts", obs.L("outcome", "hit"))
+	reg.Counter(metricTrainWarm, "warm-start attempts", obs.L("outcome", "miss"))
+	reg.Gauge(metricTrainWorkers, "trainer worker-pool size")
 }

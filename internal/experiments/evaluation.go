@@ -223,7 +223,7 @@ var evalHook func(c *dataset.Consumer)
 // evaluateConsumerSafe runs one consumer's evaluation with panic
 // containment: a panicking detector (or attack model, or hook) becomes an
 // ordinary per-consumer error instead of crashing the whole run.
-func evaluateConsumerSafe(c *dataset.Consumer, opts Options) (ce consumerEval) {
+func evaluateConsumerSafe(c *dataset.Consumer, opts Options, suite *detect.TrainedSuite) (ce consumerEval) {
 	defer func() {
 		if r := recover(); r != nil {
 			ce = consumerEval{id: c.ID, err: fmt.Errorf("panic: %v", r)}
@@ -232,7 +232,88 @@ func evaluateConsumerSafe(c *dataset.Consumer, opts Options) (ce consumerEval) {
 	if evalHook != nil {
 		evalHook(c)
 	}
-	return evaluateConsumer(c, opts)
+	return evaluateConsumer(c, opts, suite)
+}
+
+// suiteConfig is the one detector-suite configuration the evaluation
+// protocol uses, shared between the per-consumer cold path and the
+// population pre-trainer so the two can never drift.
+func suiteConfig(opts Options) detect.SuiteConfig {
+	tierFn := func(slotOfWeek int) int {
+		return int(opts.Scheme.TierOf(timeseries.Slot(slotOfWeek)))
+	}
+	return detect.SuiteConfig{
+		KLD:      detect.KLDConfig{Significance: 0.05},
+		PriceKLD: detect.PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
+	}
+}
+
+// splitConsumer produces the training input and test artifacts of one
+// consumer: the (possibly imputation-repaired) training split, the test
+// split, and the normal test week's quality mask (nil when fully trusted).
+func splitConsumer(c *dataset.Consumer, opts Options) (train, test timeseries.Series, normalMask timeseries.Mask, err error) {
+	train, test, err = c.Demand.Split(opts.TrainWeeks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if test.Weeks() < 1 {
+		return nil, nil, nil, fmt.Errorf("no test weeks")
+	}
+	// Quality-annotated populations (fault injection, real AMI imports):
+	// repair the training split by imputation — detectors need a full
+	// history — and carry the test week's mask into detection so verdicts
+	// honour the coverage gate.
+	if c.Quality != nil {
+		trainMask, testMask, err := c.Quality.Split(opts.TrainWeeks)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("quality mask: %w", err)
+		}
+		if !trainMask.AllOK() {
+			train, _, err = timeseries.ImputeSeries(train, trainMask, opts.Quality.Impute)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("repairing training split: %w", err)
+			}
+		}
+		if wk := testMask.MustWeek(0); !wk.AllOK() {
+			normalMask = wk
+		}
+	}
+	return train, test, normalMask, nil
+}
+
+// pretrainSuites batch-trains every consumer's detector suite with the
+// population trainer. Per-consumer preparation or training errors are left
+// as nil suites — the cold path inside evaluateConsumer retries them and
+// surfaces its own error, keeping failure semantics identical.
+func pretrainSuites(consumers []dataset.Consumer, opts Options, par int) []*detect.TrainedSuite {
+	trains := make([]timeseries.Series, 0, len(consumers))
+	idx := make([]int, 0, len(consumers))
+	for i := range consumers {
+		train, _, _, err := splitConsumer(&consumers[i], opts)
+		if err != nil {
+			continue
+		}
+		trains = append(trains, train)
+		idx = append(idx, i)
+	}
+	suites := make([]*detect.TrainedSuite, len(consumers))
+	if len(trains) == 0 {
+		return suites
+	}
+	trainer := detect.NewPopulationTrainer(detect.PopulationConfig{
+		Suite:   suiteConfig(opts),
+		Workers: par,
+	})
+	res, err := trainer.TrainSeries(trains, opts.TrainWeeks)
+	if err != nil {
+		return suites
+	}
+	for j, i := range idx {
+		if res.Errors[j] == nil {
+			suites[i] = res.Suites[j]
+		}
+	}
+	return suites
 }
 
 // RunEvaluation executes the full Table II/III protocol.
@@ -276,6 +357,24 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	}
 	met.workers.Set(float64(par))
 
+	// Warm-start runs amortize detector training across the population
+	// before the per-consumer protocol; the pool below then evaluates with
+	// the pre-trained suites. The population trainer registers its
+	// fdeta_train_* instruments on the detect metrics registry.
+	var pretrained []*detect.TrainedSuite
+	var pretrainSeconds float64
+	if opts.WarmStart {
+		popStart := clk.Now()
+		pretrained = pretrainSuites(consumers, opts, par)
+		pretrainSeconds = clk.Since(popStart).Seconds()
+	}
+	suiteFor := func(i int) *detect.TrainedSuite {
+		if pretrained == nil {
+			return nil
+		}
+		return pretrained[i]
+	}
+
 	// Workers acquire the semaphore inside their goroutine so the spawn
 	// loop never blocks. In strict mode the first consumer error is
 	// propagated immediately: remaining workers see the closed stop channel
@@ -312,7 +411,7 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 			}
 			defer func() { <-sem }()
 			start := clk.Now()
-			ce := evaluateConsumerSafe(&consumers[i], opts)
+			ce := evaluateConsumerSafe(&consumers[i], opts, suiteFor(i))
 			ce.totalNS = clk.Since(start).Nanoseconds()
 			evals[i] = ce
 			// Bump instruments as workers finish so a live run can be
@@ -413,6 +512,9 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 		Parallelism: par,
 		WallSeconds: wall,
 	}
+	// Population pre-training is shared training work: it counts toward the
+	// train stage once, not per consumer.
+	sum.Stage.Train = pretrainSeconds
 	var busyNS int64
 	for _, ce := range evals {
 		sum.Stage.Train += float64(ce.trainNS) / 1e9
@@ -436,8 +538,10 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	return ev, nil
 }
 
-// evaluateConsumer runs the whole per-consumer protocol.
-func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
+// evaluateConsumer runs the whole per-consumer protocol. A non-nil suite
+// (from the population pre-trainer) replaces the per-consumer training
+// step; nil trains cold.
+func evaluateConsumer(c *dataset.Consumer, opts Options, suite *detect.TrainedSuite) consumerEval {
 	ce := consumerEval{id: c.ID, outcomes: make(map[DetectorID]map[Scenario]ConsumerOutcome)}
 	fail := func(err error) consumerEval {
 		ce.err = err
@@ -446,32 +550,9 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	clk := opts.clock()
 	stageStart := clk.Now()
 
-	train, test, err := c.Demand.Split(opts.TrainWeeks)
+	train, test, normalMask, err := splitConsumer(c, opts)
 	if err != nil {
 		return fail(err)
-	}
-	if test.Weeks() < 1 {
-		return fail(fmt.Errorf("no test weeks"))
-	}
-	// Quality-annotated populations (fault injection, real AMI imports):
-	// repair the training split by imputation — detectors need a full
-	// history — and carry the test week's mask into detection so verdicts
-	// honour the coverage gate.
-	var normalMask timeseries.Mask
-	if c.Quality != nil {
-		trainMask, testMask, err := c.Quality.Split(opts.TrainWeeks)
-		if err != nil {
-			return fail(fmt.Errorf("quality mask: %w", err))
-		}
-		if !trainMask.AllOK() {
-			train, _, err = timeseries.ImputeSeries(train, trainMask, opts.Quality.Impute)
-			if err != nil {
-				return fail(fmt.Errorf("repairing training split: %w", err))
-			}
-		}
-		if wk := testMask.MustWeek(0); !wk.AllOK() {
-			normalMask = wk
-		}
 	}
 	normalWeek := test.MustWeek(0)
 	attackStart := timeseries.Slot(len(train))
@@ -480,15 +561,11 @@ func evaluateConsumer(c *dataset.Consumer, opts Options) consumerEval {
 	// one week matrix shared by every detector row (and, below, by the
 	// attacker's replicas). The 10%-significance rows derive from the 5%
 	// ones by recomputing only the percentile threshold.
-	tierFn := func(slotOfWeek int) int {
-		return int(opts.Scheme.TierOf(timeseries.Slot(slotOfWeek)))
-	}
-	suite, err := detect.NewTrainedSuite(train, detect.SuiteConfig{
-		KLD:      detect.KLDConfig{Significance: 0.05},
-		PriceKLD: detect.PriceKLDConfig{NTiers: 2, Tier: tierFn, Significance: 0.05},
-	})
-	if err != nil {
-		return fail(fmt.Errorf("detector suite: %w", err))
+	if suite == nil {
+		suite, err = detect.NewTrainedSuite(train, suiteConfig(opts))
+		if err != nil {
+			return fail(fmt.Errorf("detector suite: %w", err))
+		}
 	}
 	arimaDet := suite.ARIMA()
 	integDet := suite.Integrated()

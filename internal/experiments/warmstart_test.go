@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateWarmGolden = flag.Bool("update-warmstart", false,
+	"rewrite testdata/warmstart_golden.json from the current warm-start run")
+
+// warmGoldenCell is one detector×scenario cell of the committed warm-start
+// golden.
+type warmGoldenCell struct {
+	Detector      DetectorID `json:"detector"`
+	Scenario      Scenario   `json:"scenario"`
+	DetectionRate float64    `json:"detection_rate"`
+	TotalKWh      float64    `json:"total_kwh"`
+	TotalUSD      float64    `json:"total_usd"`
+}
+
+func warmGoldenPath() string {
+	return filepath.Join("testdata", "warmstart_golden.json")
+}
+
+// TestWarmStartEvaluationRegression is the margin-mode acceptance test:
+// a warm-started evaluation must stay within tolerance of cold training on
+// every Table II/III metric, and must reproduce the committed golden
+// exactly (margin-mode results are deterministic — any drift is a code
+// change, not noise).
+func TestWarmStartEvaluationRegression(t *testing.T) {
+	opts := QuickOptions()
+	opts.Trials = 4
+
+	cold, err := RunEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wopts := opts
+	wopts.WarmStart = true
+	warm, err := RunEvaluation(wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Consumers != cold.Consumers || len(warm.Quarantined) != 0 {
+		t.Fatalf("warm run shape differs: %d consumers, %d quarantined",
+			warm.Consumers, len(warm.Quarantined))
+	}
+
+	// Tolerances: warm-started ARIMA orders may differ only where the AIC
+	// race was inside the margin, so detection rates should barely move
+	// (≤ 0.1 ≈ 2 consumers at Quick scale) and attacker-gain totals —
+	// which depend on the slightly different attack vectors the replica
+	// models produce — stay within 10%.
+	const rateTol = 0.1
+	relTol := func(a, b float64) bool {
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 0.10*scale+1.0
+	}
+
+	var got []warmGoldenCell
+	for _, d := range DetectorIDs() {
+		for _, s := range Scenarios() {
+			cc, err := cold.Cell(d, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc, err := warm.Cell(d, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wc.Outcomes) != len(cc.Outcomes) {
+				t.Errorf("%s/%s: outcome counts differ: %d vs %d", d, s, len(wc.Outcomes), len(cc.Outcomes))
+			}
+			if math.Abs(wc.DetectionRate()-cc.DetectionRate()) > rateTol {
+				t.Errorf("%s/%s: detection rate %.3f drifted from cold %.3f",
+					d, s, wc.DetectionRate(), cc.DetectionRate())
+			}
+			if !relTol(wc.TotalStolenKWh(), cc.TotalStolenKWh()) {
+				t.Errorf("%s/%s: stolen kWh %.2f outside tolerance of cold %.2f",
+					d, s, wc.TotalStolenKWh(), cc.TotalStolenKWh())
+			}
+			if !relTol(wc.TotalProfitUSD(), cc.TotalProfitUSD()) {
+				t.Errorf("%s/%s: profit %.2f outside tolerance of cold %.2f",
+					d, s, wc.TotalProfitUSD(), cc.TotalProfitUSD())
+			}
+			got = append(got, warmGoldenCell{
+				Detector:      d,
+				Scenario:      s,
+				DetectionRate: wc.DetectionRate(),
+				TotalKWh:      wc.TotalStolenKWh(),
+				TotalUSD:      wc.TotalProfitUSD(),
+			})
+		}
+	}
+
+	if *updateWarmGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(warmGoldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", warmGoldenPath())
+		return
+	}
+	data, err := os.ReadFile(warmGoldenPath())
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-warmstart): %v", err)
+	}
+	var want []warmGoldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d cells, run produced %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Detector != g.Detector || w.Scenario != g.Scenario {
+			t.Fatalf("cell %d: golden %s/%s vs run %s/%s", i, w.Detector, w.Scenario, g.Detector, g.Scenario)
+		}
+		// JSON round-trips float64 exactly, so the comparison is bitwise.
+		if w.DetectionRate != g.DetectionRate || w.TotalKWh != g.TotalKWh || w.TotalUSD != g.TotalUSD {
+			t.Errorf("%s/%s drifted from golden: rate %v vs %v, kWh %v vs %v, USD %v vs %v (regenerate with -update-warmstart if intended)",
+				w.Detector, w.Scenario, g.DetectionRate, w.DetectionRate, g.TotalKWh, w.TotalKWh, g.TotalUSD, w.TotalUSD)
+		}
+	}
+}
+
+// TestWarmStartDeterministicAcrossParallelism: warm-start results must not
+// depend on the worker count, like every other evaluation path.
+func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
+	opts := QuickOptions()
+	opts.MaxConsumers = 8
+	opts.Trials = 2
+	opts.WarmStart = true
+
+	rates := map[int][]float64{}
+	for _, par := range []int{1, 4} {
+		o := opts
+		o.Parallelism = par
+		ev, err := RunEvaluation(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range DetectorIDs() {
+			for _, s := range Scenarios() {
+				c, err := ev.Cell(d, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rates[par] = append(rates[par], c.DetectionRate(), c.TotalStolenKWh(), c.TotalProfitUSD())
+			}
+		}
+	}
+	for i := range rates[1] {
+		if rates[1][i] != rates[4][i] {
+			t.Fatalf("warm-start metric %d depends on parallelism: %v vs %v", i, rates[1][i], rates[4][i])
+		}
+	}
+}

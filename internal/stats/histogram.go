@@ -211,6 +211,19 @@ func (h *Histogram) AddAll(xs []float64) {
 	}
 }
 
+// AddBin counts one observation directly into bin i, for callers that have
+// already computed BinIndex to feed a second tally in the same pass (the
+// population trainer bins each training value once for both the global X
+// histogram and its week's distribution). Negative indices — BinIndex's NaN
+// sentinel — are ignored, matching Add.
+func (h *Histogram) AddBin(i int) {
+	if i < 0 {
+		return
+	}
+	h.counts[i]++
+	h.total++
+}
+
 // Counts returns a copy of the per-bin counts.
 func (h *Histogram) Counts() []int {
 	c := make([]int, len(h.counts))

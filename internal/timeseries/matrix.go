@@ -54,11 +54,17 @@ func (m *WeekMatrix) Column(j int) []float64 {
 	if j < 0 || j >= SlotsPerWeek {
 		return nil
 	}
-	col := make([]float64, m.rows)
+	return m.ColumnInto(make([]float64, m.rows), j)
+}
+
+// ColumnInto is Column writing into a caller-provided buffer of length
+// Rows(), so per-column gathers in hot loops reuse one slice instead of
+// allocating M floats per call. j must be in [0, SlotsPerWeek).
+func (m *WeekMatrix) ColumnInto(dst []float64, j int) []float64 {
 	for i := 0; i < m.rows; i++ {
-		col[i] = m.data[i*SlotsPerWeek+j]
+		dst[i] = m.data[i*SlotsPerWeek+j]
 	}
-	return col
+	return dst
 }
 
 // RowMeans returns the mean of each week, used by the Integrated ARIMA
@@ -98,13 +104,27 @@ func (m *WeekMatrix) RowVariances() []float64 {
 // SeasonalProfile returns the across-week mean of each half-hour-of-week
 // column: the expected weekly shape of the consumer.
 func (m *WeekMatrix) SeasonalProfile() Series {
-	profile := make(Series, SlotsPerWeek)
-	for j := 0; j < SlotsPerWeek; j++ {
-		var sum float64
-		for i := 0; i < m.rows; i++ {
-			sum += m.data[i*SlotsPerWeek+j]
-		}
-		profile[j] = sum / float64(m.rows)
+	return m.SeasonalProfileInto(make(Series, SlotsPerWeek))
+}
+
+// SeasonalProfileInto is SeasonalProfile writing into a caller-provided
+// buffer of length SlotsPerWeek. The accumulation walks the matrix
+// row-major — one sequential pass instead of 336 strided column scans —
+// while each column's partial sums still add in week order, so the result
+// is bit-identical to the column-at-a-time computation.
+func (m *WeekMatrix) SeasonalProfileInto(dst Series) Series {
+	for j := range dst {
+		dst[j] = 0
 	}
-	return profile
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*SlotsPerWeek : (i+1)*SlotsPerWeek]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+	inv := float64(m.rows)
+	for j := range dst {
+		dst[j] /= inv
+	}
+	return dst
 }
