@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population fuzz faults-smoke verify
+.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population collect-smoke fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ bench-population:
 		grep -q "\"$$key\"" /tmp/fdeta-bench-population.json || \
 			{ echo "bench-population: $$key missing from report"; exit 1; }; done
 
+# collect-smoke: the ingestion tier end to end under the race detector — a
+# sharded head-end, a persistent-connection pool multiplexing a 1k-meter
+# fleet over wire-v2 batch frames, plus a small v1 baseline for the speedup
+# figure. Exercises negotiation, rebinding, batching, shard queues, flush,
+# and drain on every PR.
+collect-smoke:
+	$(GO) run -race ./cmd/fdeta collect -meters 1000 -shards 4 -batch 48 -concurrency 16 -baseline-meters 100
+
 # fuzz: short fuzz passes over the AMI wire codec and the dataset CSV
 # parser so envelope-validation and parser regressions are caught pre-merge.
 fuzz:
@@ -72,6 +80,6 @@ faults-smoke:
 # verify: the gate for every PR — build, vet, gofmt drift, the domain
 # linter, the targeted race pass over the obs/ami/experiments concurrency
 # surfaces plus the full-tree race detector, the quick benchmarks, the
-# population-training smoke, the fuzz passes, and the fault-injection
-# smoke run.
-verify: build vet fmt-check lint race-hot race bench-quick bench-population fuzz faults-smoke
+# population-training smoke, the race-enabled ingestion-tier smoke, the
+# fuzz passes, and the fault-injection smoke run.
+verify: build vet fmt-check lint race-hot race bench-quick bench-population collect-smoke fuzz faults-smoke

@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) int {
 	underreport := fs.Float64("underreport", 0, "fraction to shave off every report (0 = honest, 0.5 = report half)")
 	interval := fs.Duration("interval", 0, "delay between readings (0 = as fast as possible)")
 	retries := fs.Int("retries", 3, "delivery attempts per reading")
+	batch := fs.Int("batch", 0, "readings per wire-v2 batch frame (0 = one v1 frame per reading; requires a v2 head-end)")
 	faultSpec := fs.String("fault", "", "inject meter faults, e.g. 'dropout:0.1+stuckat:1' (dropped slots are never sent)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,7 +89,11 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "amimeter: %s COMPROMISED — reporting %.0f%% of measured demand\n", *id, frac*100)
 	}
 
-	client, err := ami.NewReliableClient(*addr, *id, nil, 5*time.Second, *retries, 100*time.Millisecond)
+	newClient := ami.NewReliableClient
+	if *batch > 0 {
+		newClient = ami.NewReliableBatchClient
+	}
+	client, err := newClient(*addr, *id, nil, 5*time.Second, *retries, 100*time.Millisecond)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amimeter:", err)
 		return 1
@@ -105,6 +110,23 @@ func run(args []string, out io.Writer) int {
 		n = m.Slots()
 	}
 	sent := 0
+	// With -batch, surviving readings accumulate into frames of that size;
+	// the interval then paces frames rather than individual readings, the
+	// way a real meter spools a reporting window and uploads it in one go.
+	var pending []meter.Reading
+	flush := func(last int) (int, bool) {
+		if err := client.SendAllContext(ctx, pending); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, last)
+				return 130, false
+			}
+			fmt.Fprintln(os.Stderr, "amimeter:", err)
+			return 1, false
+		}
+		sent += len(pending)
+		pending = pending[:0]
+		return 0, true
+	}
 	for s := 0; s < n; s++ {
 		if len(mask) > 0 && mask[s] == timeseries.StatusMissing {
 			continue // the backhaul dropped this slot: nothing to deliver
@@ -114,15 +136,25 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(os.Stderr, "amimeter:", err)
 			return 1
 		}
-		if err := client.SendContext(ctx, r); err != nil {
-			if errors.Is(err, context.Canceled) {
-				fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, s)
-				return 130
+		if *batch > 0 {
+			pending = append(pending, r)
+			if len(pending) < *batch {
+				continue
 			}
-			fmt.Fprintln(os.Stderr, "amimeter:", err)
-			return 1
+			if code, ok := flush(s); !ok {
+				return code
+			}
+		} else {
+			if err := client.SendContext(ctx, r); err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, s)
+					return 130
+				}
+				fmt.Fprintln(os.Stderr, "amimeter:", err)
+				return 1
+			}
+			sent++
 		}
-		sent++
 		if *interval > 0 {
 			select {
 			case <-ctx.Done():
@@ -130,6 +162,11 @@ func run(args []string, out io.Writer) int {
 				return 130
 			case <-time.After(*interval):
 			}
+		}
+	}
+	if len(pending) > 0 {
+		if code, ok := flush(n); !ok {
+			return code
 		}
 	}
 	if dropped := n - sent; dropped > 0 {

@@ -22,9 +22,19 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
+// headEnd is the lifecycle-and-stats surface shared by the plain and
+// sharded head-end flavours.
+type headEnd interface {
+	Listen(addr string) (string, error)
+	Close() error
+	Stats() ami.HeadEndStats
+	Meters() []string
+	Metrics() *obs.Registry
+}
+
 // statsLine renders the head-end's ingestion counters for the periodic and
 // final report lines.
-func statsLine(head *ami.HeadEnd) string {
+func statsLine(head headEnd) string {
 	st := head.Stats()
 	return fmt.Sprintf("%d meters, %d readings accepted (%d rejected, %d auth-failed) — conns %d active / %d total, %d limit-rejected, %d idle-timeouts, %d forced closes",
 		len(head.Meters()), st.Accepted, st.Rejected, st.AuthFailed,
@@ -39,6 +49,7 @@ func run(args []string, out io.Writer) int {
 	maxConns := fs.Int("max-conns", ami.DefaultMaxConns, "concurrent meter connection limit")
 	idleTimeout := fs.Duration("idle-timeout", ami.DefaultIdleTimeout, "per-connection idle read deadline")
 	drain := fs.Duration("drain", ami.DefaultDrainTimeout, "shutdown grace before force-closing connections")
+	shards := fs.Int("shards", 0, "shard the readings store N ways with async ingest queues (0 = single synchronous store, -1 = one shard per core)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,11 +61,17 @@ func run(args []string, out io.Writer) int {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
 
-	head := ami.New(
+	opts := []ami.Option{
 		ami.WithMaxConns(*maxConns),
 		ami.WithIdleTimeout(*idleTimeout),
 		ami.WithDrainTimeout(*drain),
-	)
+	}
+	var head headEnd
+	if *shards != 0 {
+		head = ami.NewSharded(*shards, opts...)
+	} else {
+		head = ami.New(opts...)
+	}
 	if *metricsAddr != "" {
 		// Export the head-end's own registry: /metrics counters are exactly
 		// the ones behind head.Stats().

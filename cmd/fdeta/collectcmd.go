@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -19,22 +22,48 @@ import (
 	"repro/internal/timeseries"
 )
 
-// cmdCollect exercises the hardened AMI ingestion path end to end: it
-// starts an in-process head-end with explicit lifecycle limits, streams a
-// synthetic neighbourhood's readings from concurrent reliable meter
-// clients over real TCP, then prints the ingestion counters and verifies
-// that every collected series is dense.
+// metricSendLatency times one batch-frame round trip (send through batch
+// ack) on the load-harness side — the client's view of the same exchange
+// fdeta_ami_ingest_latency_seconds times on the server side.
+const metricSendLatency = "fdeta_collect_send_latency_seconds"
+
+// collectHead is the surface the harness needs from either head-end
+// flavour; ami.HeadEnd and ami.ShardedHeadEnd both satisfy it.
+type collectHead interface {
+	Listen(addr string) (string, error)
+	Close() error
+	Stats() ami.HeadEndStats
+	Meters() []string
+	Series(meterID string, n int) (timeseries.Series, error)
+	Metrics() *obs.Registry
+}
+
+// cmdCollect exercises the hardened AMI ingestion path end to end. In its
+// default mode it streams a synthetic neighbourhood's readings from
+// concurrent reliable meter clients over real TCP, then prints the
+// ingestion counters and verifies that every collected series is dense.
+// With -concurrency it becomes a load harness: a fixed pool of persistent
+// wire-v2 connections multiplexes an arbitrarily large simulated fleet
+// (rebinding per meter, batching readings per frame) against a plain or
+// sharded head-end, and reports throughput and latency quantiles —
+// optionally as a BENCH_*.json record via -bench-out.
 func cmdCollect(args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	rf := bindRunFlags(fs)
-	meters := fs.Int("meters", 8, "number of concurrent meter clients")
+	meters := fs.Int("meters", 8, "number of simulated meters")
 	slots := fs.Int("slots", timeseries.SlotsPerDay, "readings per meter")
 	seed := fs.Int64("seed", 2016, "synthetic neighbourhood seed")
 	maxConns := fs.Int("max-conns", ami.DefaultMaxConns, "head-end connection limit")
 	idleTimeout := fs.Duration("idle-timeout", ami.DefaultIdleTimeout, "head-end idle read deadline")
 	drain := fs.Duration("drain", time.Second, "shutdown grace before force-closing connections")
-	retries := fs.Int("retries", 3, "delivery attempts per reading")
+	retries := fs.Int("retries", 3, "delivery attempts per reading (per-meter mode)")
 	faultSpec := fs.String("fault", "", "inject meter faults into the collected stream, e.g. 'dropout:0.1+spike:0.01,20' (dropped slots are never sent)")
+	shards := fs.Int("shards", 0, "shard the head-end store N ways with async ingest queues (0 = single synchronous store)")
+	batch := fs.Int("batch", 0, "readings per wire-v2 batch frame (0 = one v1 frame per reading)")
+	concurrency := fs.Int("concurrency", 0, "load-harness connection pool size; >0 multiplexes the fleet over persistent v2 connections (requires -batch >= 1)")
+	profiles := fs.Int("profiles", 64, "synthetic consumption profiles cycled across the fleet (load-harness mode)")
+	baseline := fs.Int("baseline-meters", 0, "first drive a v1 one-frame-per-reading baseline over this many meters and report the harness speedup")
+	benchOut := fs.String("bench-out", "", "write a BENCH_*.json throughput record to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,37 +73,69 @@ func cmdCollect(args []string) error {
 	if *slots < 1 || *slots > timeseries.SlotsPerWeek {
 		return fmt.Errorf("collect: -slots must be in [1, %d]", timeseries.SlotsPerWeek)
 	}
+	if *concurrency > 0 && *batch < 1 {
+		return fmt.Errorf("collect: -concurrency requires -batch >= 1 (the pool multiplexes v2 batch sessions)")
+	}
+	if *concurrency > 0 && *faultSpec != "" {
+		return fmt.Errorf("collect: -fault is a per-meter-client feature; drop -concurrency to use it")
+	}
 	scens, err := fault.Parse(*faultSpec)
 	if err != nil {
 		return fmt.Errorf("collect: %w", err)
 	}
-	plan := fault.Plan{Seed: *seed, Scenarios: scens}
 
-	ds, err := dataset.Generate(dataset.Config{Residential: *meters, Weeks: 2, Seed: *seed})
-	if err != nil {
-		return err
+	cfg := ami.HeadEndConfig{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drain,
 	}
-
-	headOpts := []ami.Option{
-		ami.WithMaxConns(*maxConns),
-		ami.WithIdleTimeout(*idleTimeout),
-		ami.WithDrainTimeout(*drain),
+	if *batch > ami.DefaultMaxBatch {
+		cfg.MaxBatch = *batch
 	}
+	headOpts := []ami.Option{ami.WithConfig(cfg)}
 	if rf.metricsAddr != "" {
 		// The admin endpoint serves the process default registry; point the
 		// head-end's ingest counters at it so they are scrapeable live.
 		headOpts = append(headOpts, ami.WithMetrics(obs.Default()))
 	}
-	head := ami.New(headOpts...)
+	newHead := func() collectHead {
+		if *shards > 0 {
+			return ami.NewSharded(*shards, headOpts...)
+		}
+		return ami.New(headOpts...)
+	}
+
+	if *concurrency > 0 {
+		h := &harness{
+			meters:      *meters,
+			slots:       *slots,
+			seed:        *seed,
+			batch:       *batch,
+			shards:      *shards,
+			concurrency: *concurrency,
+			profiles:    *profiles,
+			baseline:    *baseline,
+			benchOut:    *benchOut,
+			newHead:     newHead,
+		}
+		return rf.run(h.run)
+	}
+
+	plan := fault.Plan{Seed: *seed, Scenarios: scens}
+	ds, err := dataset.Generate(dataset.Config{Residential: *meters, Weeks: 2, Seed: *seed})
+	if err != nil {
+		return err
+	}
 	return rf.run(func() error {
-		return runCollect(head, ds, plan, *meters, *slots, *retries, *maxConns, *idleTimeout, *drain)
+		return runCollect(newHead(), ds, plan, *meters, *slots, *retries, *batch, *maxConns, *idleTimeout, *drain)
 	})
 }
 
-// runCollect is the collection harness body; the shared run wrapper keeps
-// the admin endpoint alive for exactly the collection's duration.
-func runCollect(head *ami.HeadEnd, ds *dataset.Dataset, plan fault.Plan,
-	meterCount, slotCount, retries, maxConns int, idleTimeout, drain time.Duration) error {
+// runCollect is the per-meter-client collection body: one goroutine and one
+// reliable client per meter, exactly the seed topology (with -batch > 1 the
+// clients speak v2 batch frames instead of one frame per reading).
+func runCollect(head collectHead, ds *dataset.Dataset, plan fault.Plan,
+	meterCount, slotCount, retries, batch, maxConns int, idleTimeout, drain time.Duration) error {
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -117,7 +178,11 @@ func runCollect(head *ami.HeadEnd, ds *dataset.Dataset, plan fault.Plan,
 				errc <- err
 				return
 			}
-			rc, err := ami.NewReliableClient(addr, id, nil, 5*time.Second, retries, 50*time.Millisecond)
+			newClient := ami.NewReliableClient
+			if batch > 1 {
+				newClient = ami.NewReliableBatchClient
+			}
+			rc, err := newClient(addr, id, nil, 5*time.Second, retries, 50*time.Millisecond)
 			if err != nil {
 				errc <- err
 				return
@@ -154,6 +219,7 @@ func runCollect(head *ami.HeadEnd, ds *dataset.Dataset, plan fault.Plan,
 		}
 	}
 	elapsed := time.Since(start)
+	flushHead(head)
 
 	// Every collected series must be dense — a gap is a lost reading.
 	// Injected dropouts are intentional gaps, so the density check only
@@ -186,5 +252,368 @@ func runCollect(head *ami.HeadEnd, ds *dataset.Dataset, plan fault.Plan,
 		return nil
 	}
 	fmt.Println("collect: all series dense — clean shutdown, no forced closes expected on this path")
+	return nil
+}
+
+// flushHead drains a sharded head-end's ingest queues so reads are exact;
+// a plain head-end stores synchronously and has nothing to flush.
+func flushHead(head collectHead) {
+	if f, ok := head.(interface{ Flush() }); ok {
+		f.Flush()
+	}
+}
+
+// harness drives the load-harness mode: a pool of persistent v2
+// connections multiplexing the simulated fleet, with profile templates
+// standing in for per-meter datasets so fleet size is decoupled from
+// synthesis cost.
+type harness struct {
+	meters, slots         int
+	seed                  int64
+	batch, shards         int
+	concurrency, profiles int
+	baseline              int
+	benchOut              string
+	newHead               func() collectHead
+}
+
+// loadProfiles synthesizes the consumption templates the fleet cycles over.
+func (h *harness) loadProfiles() ([]timeseries.Series, error) {
+	n := h.profiles
+	if n < 1 {
+		n = 1
+	}
+	if n > h.meters {
+		n = h.meters
+	}
+	weeks := (h.slots + timeseries.SlotsPerWeek - 1) / timeseries.SlotsPerWeek
+	if weeks < 2 {
+		weeks = 2 // dataset.Generate's floor
+	}
+	ds, err := dataset.Generate(dataset.Config{Residential: n, Weeks: weeks, Seed: h.seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]timeseries.Series, len(ds.Consumers))
+	for i := range ds.Consumers {
+		out[i] = ds.Consumers[i].Demand[:h.slots]
+	}
+	return out, nil
+}
+
+func (h *harness) run() error {
+	profiles, err := h.loadProfiles()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	report := BenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Protocol:   "collect",
+	}
+
+	var baselineRate float64
+	if h.baseline > 0 {
+		res, err := h.runBaseline(ctx, profiles)
+		if err != nil {
+			return err
+		}
+		baselineRate = res.Metrics["readings_per_sec"]
+		report.Results = append(report.Results, res)
+	}
+
+	res, err := h.runBatched(ctx, profiles, baselineRate)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, res)
+
+	if h.benchOut == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(h.benchOut), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(h.benchOut, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("collect: wrote %s\n", h.benchOut)
+	return nil
+}
+
+// runBaseline replays the seed ingestion path — one TCP dial per meter,
+// one v1 frame and one ack round trip per reading, single synchronous
+// store — over a bounded fleet, to anchor the speedup figure.
+func (h *harness) runBaseline(ctx context.Context, profiles []timeseries.Series) (BenchResult, error) {
+	head := ami.New(ami.WithConfig(ami.HeadEndConfig{DrainTimeout: time.Second}))
+	addr, err := head.Listen("127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	fmt.Printf("collect: baseline head-end on %s (v1, one frame per reading, %d meters)\n", addr, h.baseline)
+
+	var sent atomic.Int64
+	start := time.Now()
+	err = h.pool(ctx, h.baseline, func(_ int, meterID string, readings []meter.Reading) error {
+		c, err := ami.Dial(addr, meterID, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = c.Close() }()
+		if err := c.SendAll(readings); err != nil {
+			return err
+		}
+		sent.Add(int64(len(readings)))
+		return nil
+	}, profiles)
+	elapsed := time.Since(start)
+	if cerr := head.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return BenchResult{}, err
+	}
+	st := head.Stats()
+	total := int64(h.baseline) * int64(h.slots)
+	if st.Accepted != total {
+		return BenchResult{}, fmt.Errorf("collect: baseline accepted %d of %d readings", st.Accepted, total)
+	}
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Printf("collect: baseline delivered %d readings in %s (%.0f readings/s)\n",
+		total, elapsed.Round(time.Millisecond), rate)
+	return BenchResult{
+		Name:       "CollectBaselineV1",
+		Iterations: int(total),
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(total),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    h.poolSize(h.baseline),
+		Metrics: map[string]float64{
+			"meters":           float64(h.baseline),
+			"slots":            float64(h.slots),
+			"readings_per_sec": rate,
+			"frames_per_sec":   rate, // one frame per reading, by definition
+		},
+	}, nil
+}
+
+// runBatched drives the batched, optionally sharded ingestion tier at
+// fleet scale and derives the throughput/latency record.
+func (h *harness) runBatched(ctx context.Context, profiles []timeseries.Series, baselineRate float64) (BenchResult, error) {
+	head := h.newHead()
+	addr, err := head.Listen("127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	fmt.Printf("collect: head-end on %s (%d shards, batch %d, %d conns, %d meters)\n",
+		addr, h.shards, h.batch, h.poolSize(h.meters), h.meters)
+
+	clientReg := obs.NewRegistry()
+	sendLatency := clientReg.Histogram(metricSendLatency,
+		"one batch frame send through batch ack, harness side", obs.FineLatencyBuckets())
+	var frames atomic.Int64
+
+	// Each pool worker owns one persistent v2 session (its slot in this
+	// slice — no cross-worker locking) and rebinds it per meter instead of
+	// redialing, which is what keeps a 100k fleet from exhausting
+	// ephemeral ports.
+	clients := make([]*ami.Client, h.poolSize(h.meters))
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	workerClient := func(worker int, meterID string) (*ami.Client, error) {
+		if c := clients[worker]; c != nil {
+			if err := c.Bind(meterID); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		c, err := ami.DialBatch(addr, meterID, nil, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		clients[worker] = c
+		return c, nil
+	}
+
+	start := time.Now()
+	err = h.pool(ctx, h.meters, func(worker int, meterID string, readings []meter.Reading) error {
+		c, err := workerClient(worker, meterID)
+		if err != nil {
+			return err
+		}
+		for off := 0; off < len(readings); off += h.batch {
+			end := off + h.batch
+			if end > len(readings) {
+				end = len(readings)
+			}
+			t0 := time.Now()
+			if err := c.SendBatch(readings[off:end]); err != nil {
+				return err
+			}
+			sendLatency.Observe(time.Since(t0).Seconds())
+			frames.Add(1)
+		}
+		return nil
+	}, profiles)
+	elapsed := time.Since(start)
+	for i, c := range clients {
+		if c != nil {
+			_ = c.Close()
+			clients[i] = nil
+		}
+	}
+	flushHead(head)
+
+	if err != nil {
+		_ = head.Close()
+		return BenchResult{}, err
+	}
+	if err := h.spotCheck(head); err != nil {
+		_ = head.Close()
+		return BenchResult{}, err
+	}
+	headSnap := head.Metrics().Snapshot()
+	if err := head.Close(); err != nil {
+		return BenchResult{}, err
+	}
+
+	st := head.Stats()
+	total := int64(h.meters) * int64(h.slots)
+	if st.Accepted != total {
+		return BenchResult{}, fmt.Errorf("collect: accepted %d of %d readings", st.Accepted, total)
+	}
+	rate := float64(total) / elapsed.Seconds()
+	frameRate := float64(frames.Load()) / elapsed.Seconds()
+
+	merged := obs.MergeSnapshots(headSnap, clientReg.Snapshot())
+	res := BenchResult{
+		Name:       "CollectBatchedSharded",
+		Iterations: int(total),
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(total),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    h.poolSize(h.meters),
+		Metrics: map[string]float64{
+			"meters":           float64(h.meters),
+			"slots":            float64(h.slots),
+			"shards":           float64(h.shards),
+			"batch":            float64(h.batch),
+			"readings_per_sec": rate,
+			"frames_per_sec":   frameRate,
+		},
+	}
+	quantiles := []struct {
+		metric, key string
+		q           float64
+	}{
+		{"fdeta_ami_ingest_latency_seconds", "ingest_p50_us", 0.50},
+		{"fdeta_ami_ingest_latency_seconds", "ingest_p99_us", 0.99},
+		{metricSendLatency, "send_p50_us", 0.50},
+		{metricSendLatency, "send_p99_us", 0.99},
+	}
+	for _, qq := range quantiles {
+		if m := merged.Find(qq.metric); m != nil {
+			res.Metrics[qq.key] = 1e6 * obs.Quantile(m, qq.q)
+		}
+	}
+	if baselineRate > 0 {
+		res.Metrics["baseline_readings_per_sec"] = baselineRate
+		res.Metrics["speedup_vs_single"] = rate / baselineRate
+	}
+
+	fmt.Printf("collect: %d meters delivered %d readings in %d frames over %s\n",
+		h.meters, total, frames.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("collect: %.0f readings/s, %.0f frames/s; ingest p50 %.1fµs p99 %.1fµs; send p50 %.1fµs p99 %.1fµs\n",
+		rate, frameRate,
+		res.Metrics["ingest_p50_us"], res.Metrics["ingest_p99_us"],
+		res.Metrics["send_p50_us"], res.Metrics["send_p99_us"])
+	if baselineRate > 0 {
+		fmt.Printf("collect: %.1fx the v1 one-frame-per-reading baseline (%.0f readings/s)\n",
+			res.Metrics["speedup_vs_single"], baselineRate)
+	}
+	fmt.Printf("collect: conns %d total, %d limit-rejected; readings %d rejected, %d auth-failed; %d forced closes\n",
+		st.TotalConns, st.LimitRejected, st.Rejected, st.AuthFailed, st.ForcedCloses)
+	return res, nil
+}
+
+// poolSize caps the connection pool at the fleet size.
+func (h *harness) poolSize(fleet int) int {
+	if h.concurrency < fleet {
+		return h.concurrency
+	}
+	return fleet
+}
+
+// pool fans the fleet [0, fleet) over the worker pool: worker w owns the
+// meters congruent to w, visiting each with a readings buffer rebuilt from
+// the meter's profile template. Stops at the first error or cancellation.
+func (h *harness) pool(ctx context.Context, fleet int,
+	visit func(worker int, meterID string, readings []meter.Reading) error,
+	profiles []timeseries.Series) error {
+	workers := h.poolSize(fleet)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]meter.Reading, h.slots)
+			for i := w; i < fleet; i += workers {
+				if err := ctx.Err(); err != nil {
+					errc <- err
+					return
+				}
+				id := fmt.Sprintf("meter-%06d", i)
+				prof := profiles[i%len(profiles)]
+				for s := 0; s < h.slots; s++ {
+					buf[s] = meter.Reading{MeterID: id, Slot: timeseries.Slot(s), KW: prof[s]}
+				}
+				if err := visit(w, id, buf); err != nil {
+					errc <- fmt.Errorf("collect: meter %s: %w", id, err)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spotCheck verifies stored-series density on a deterministic sample of
+// the fleet (every meter up to 1024, then a fixed stride), so validation
+// cost does not scale with fleet size.
+func (h *harness) spotCheck(head collectHead) error {
+	stride := h.meters / 1024
+	if stride < 1 {
+		stride = 1
+	}
+	checked := 0
+	for i := 0; i < h.meters; i += stride {
+		id := fmt.Sprintf("meter-%06d", i)
+		if _, err := head.Series(id, h.slots); err != nil {
+			return err
+		}
+		checked++
+	}
+	fmt.Printf("collect: spot-checked %d/%d series dense\n", checked, h.meters)
 	return nil
 }

@@ -58,6 +58,35 @@ func SignReading(key []byte, r *ReadingMsg) string {
 	return hex.EncodeToString(mac.Sum(nil))
 }
 
+// canonicalBatch is the byte string covered by a batch MAC: the meter ID
+// once, then every (slot, kW) pair in frame order. Reordering, dropping,
+// or splicing readings across batches breaks the tag.
+func canonicalBatch(b *BatchMsg) []byte {
+	buf, _ := json.Marshal(struct {
+		M string         `json:"m"`
+		R []BatchReading `json:"r"`
+	}{b.MeterID, b.Readings})
+	return buf
+}
+
+// SignBatch computes the hex-encoded HMAC-SHA256 tag for a batch frame.
+func SignBatch(key []byte, b *BatchMsg) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(canonicalBatch(b))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyBatch checks a batch frame's tag in constant time.
+func VerifyBatch(key []byte, b *BatchMsg, tag string) bool {
+	want, err := hex.DecodeString(tag)
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(canonicalBatch(b))
+	return hmac.Equal(mac.Sum(nil), want)
+}
+
 // VerifyReading checks a reading's tag in constant time.
 func VerifyReading(key []byte, r *ReadingMsg, tag string) bool {
 	want, err := hex.DecodeString(tag)
@@ -80,21 +109,30 @@ func (e *AuthError) Error() string {
 	return fmt.Sprintf("ami: authentication failed for meter %s slot %d", e.MeterID, e.Slot)
 }
 
-// VerifyEnvelope authenticates a reading envelope against the keyring.
-// Unknown meters and missing/invalid tags fail closed.
+// VerifyEnvelope authenticates a reading or batch envelope against the
+// keyring. Unknown meters and missing/invalid tags fail closed. A batch
+// carries one tag over the whole frame; a failure reports the first slot.
 func (kr *Keyring) VerifyEnvelope(e *Envelope) error {
-	if e.Type != TypeReading || e.Reading == nil {
-		return fmt.Errorf("ami: can only authenticate reading envelopes")
+	switch {
+	case e.Type == TypeReading && e.Reading != nil:
+		key, ok := kr.Key(e.Reading.MeterID)
+		if !ok {
+			return fmt.Errorf("ami: no key enrolled for meter %q", e.Reading.MeterID)
+		}
+		if e.Auth == "" || !VerifyReading(key, e.Reading, e.Auth) {
+			return &AuthError{MeterID: e.Reading.MeterID, Slot: e.Reading.Slot}
+		}
+		return nil
+	case e.Type == TypeBatch && e.Batch != nil:
+		key, ok := kr.Key(e.Batch.MeterID)
+		if !ok {
+			return fmt.Errorf("ami: no key enrolled for meter %q", e.Batch.MeterID)
+		}
+		if e.Auth == "" || !VerifyBatch(key, e.Batch, e.Auth) {
+			return &AuthError{MeterID: e.Batch.MeterID, Slot: e.Batch.Readings[0].Slot}
+		}
+		return nil
+	default:
+		return fmt.Errorf("ami: can only authenticate reading or batch envelopes")
 	}
-	key, ok := kr.Key(e.Reading.MeterID)
-	if !ok {
-		return fmt.Errorf("ami: no key enrolled for meter %q", e.Reading.MeterID)
-	}
-	if e.Auth == "" {
-		return &AuthError{MeterID: e.Reading.MeterID, Slot: e.Reading.Slot}
-	}
-	if !VerifyReading(key, e.Reading, e.Auth) {
-		return &AuthError{MeterID: e.Reading.MeterID, Slot: e.Reading.Slot}
-	}
-	return nil
 }

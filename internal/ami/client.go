@@ -10,11 +10,13 @@ import (
 
 // Client is a meter-side connection to the head-end.
 type Client struct {
-	conn    net.Conn
-	codec   *Codec
-	meterID string
-	timeout time.Duration
-	key     []byte // optional HMAC signing key
+	conn     net.Conn
+	codec    *Codec
+	meterID  string
+	timeout  time.Duration
+	key      []byte // optional HMAC signing key
+	version  int    // negotiated wire version
+	maxBatch int    // head-end's advertised per-frame cap (v2 only)
 }
 
 // Dial connects to the head-end and performs the hello handshake.
@@ -27,6 +29,19 @@ func Dial(addr, meterID string, timeout time.Duration) (*Client, error) {
 // compromises the meter itself obtains the key, which is exactly why the
 // paper insists crypto alone cannot stop theft (Section I).
 func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client, error) {
+	return dialVersion(addr, meterID, key, timeout, WireV1)
+}
+
+// DialBatch is DialAuth speaking wire v2: the hello advertises version 2
+// and the head-end answers with its negotiated version and per-frame batch
+// cap, unlocking SendBatch and Bind. Requires a v2 head-end — against a v1
+// server the handshake times out (a v1 head-end never answers hello), so
+// the caller can fall back to DialAuth.
+func DialBatch(addr, meterID string, key []byte, timeout time.Duration) (*Client, error) {
+	return dialVersion(addr, meterID, key, timeout, WireV2)
+}
+
+func dialVersion(addr, meterID string, key []byte, timeout time.Duration, ver int) (*Client, error) {
 	if meterID == "" {
 		return nil, fmt.Errorf("ami: meter ID is required")
 	}
@@ -43,6 +58,7 @@ func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client,
 		meterID: meterID,
 		timeout: timeout,
 		key:     append([]byte(nil), key...),
+		version: WireV1,
 	}
 	// The handshake runs under the same deadline as the dial: a stalled
 	// head-end (full TCP buffers, frozen process) must not block the caller
@@ -51,9 +67,20 @@ func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client,
 		_ = conn.Close()
 		return nil, fmt.Errorf("ami: setting handshake deadline: %w", err)
 	}
-	if err := c.codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{MeterID: meterID}}); err != nil {
+	hello := &HelloMsg{MeterID: meterID}
+	if ver >= WireV2 {
+		hello.Version = WireV2
+		hello.MaxBatch = DefaultMaxBatch
+	}
+	if err := c.codec.Send(&Envelope{Type: TypeHello, Hello: hello}); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("ami: sending hello: %w", err)
+	}
+	if ver >= WireV2 {
+		if err := c.awaitHello(); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
 	}
 	// Disarm until the next Send re-arms per operation, so a deliberately
 	// idle client connection does not expire on its own clock.
@@ -62,6 +89,66 @@ func DialAuth(addr, meterID string, key []byte, timeout time.Duration) (*Client,
 		return nil, fmt.Errorf("ami: clearing handshake deadline: %w", err)
 	}
 	return c, nil
+}
+
+// awaitHello reads the head-end's hello response (v2 handshake and Bind)
+// and records the negotiated version and batch cap.
+func (c *Client) awaitHello() error {
+	resp, err := c.codec.Recv()
+	if err != nil {
+		return fmt.Errorf("ami: waiting for hello response: %w", err)
+	}
+	switch resp.Type {
+	case TypeHello:
+		c.version = resp.Hello.Version
+		if c.version < WireV1 {
+			c.version = WireV1
+		}
+		c.maxBatch = resp.Hello.MaxBatch
+		if c.maxBatch <= 0 {
+			c.maxBatch = 1
+		}
+		return nil
+	case TypeError:
+		return &ProtocolError{Code: resp.Code, Message: resp.Error}
+	default:
+		return fmt.Errorf("ami: unexpected hello response type %q", resp.Type)
+	}
+}
+
+// Version returns the negotiated wire version (WireV1 for Dial/DialAuth
+// sessions, the head-end's answer for DialBatch sessions).
+func (c *Client) Version() int { return c.version }
+
+// MaxBatch returns the head-end's advertised readings-per-frame cap, or 0
+// on a v1 session.
+func (c *Client) MaxBatch() int { return c.maxBatch }
+
+// Bind re-runs the hello handshake mid-session, switching the connection
+// to a different meter ID (v2 only). This is what lets one TCP connection
+// multiplex a fleet of simulated meters: a load harness worker binds,
+// sends a batch, and rebinds without paying a dial per meter.
+func (c *Client) Bind(meterID string) error {
+	if c.version < WireV2 {
+		return fmt.Errorf("ami: rebinding requires wire v2 (negotiated v%d)", c.version)
+	}
+	if meterID == "" {
+		return fmt.Errorf("ami: meter ID is required")
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return fmt.Errorf("ami: setting deadline: %w", err)
+	}
+	err := c.codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{
+		MeterID: meterID, Version: WireV2, MaxBatch: DefaultMaxBatch,
+	}})
+	if err != nil {
+		return err
+	}
+	if err := c.awaitHello(); err != nil {
+		return err
+	}
+	c.meterID = meterID
+	return nil
 }
 
 // Send reports one reading and waits for the acknowledgement.
@@ -112,6 +199,72 @@ func (c *Client) SendAll(rs []meter.Reading) error {
 		}
 	}
 	return nil
+}
+
+// SendBatch reports readings in v2 batch frames, chunked to the head-end's
+// negotiated per-frame cap, waiting for the batch acknowledgement after
+// each frame. One frame carries up to MaxBatch readings — one syscall and
+// one ack round-trip where SendAll pays one per reading.
+func (c *Client) SendBatch(rs []meter.Reading) error {
+	if c.version < WireV2 {
+		return fmt.Errorf("ami: batch send requires wire v2 (negotiated v%d); use SendAll", c.version)
+	}
+	for len(rs) > 0 {
+		n := len(rs)
+		if n > c.maxBatch {
+			n = c.maxBatch
+		}
+		if err := c.sendBatchFrame(rs[:n]); err != nil {
+			return err
+		}
+		rs = rs[n:]
+	}
+	return nil
+}
+
+// sendBatchFrame sends one batch frame (len(rs) <= maxBatch) and waits for
+// its acknowledgement.
+func (c *Client) sendBatchFrame(rs []meter.Reading) error {
+	b := &BatchMsg{MeterID: c.meterID, Readings: make([]BatchReading, len(rs))}
+	for i, r := range rs {
+		if r.MeterID != c.meterID {
+			return fmt.Errorf("ami: reading meter ID %q does not match client %q", r.MeterID, c.meterID)
+		}
+		b.Readings[i] = BatchReading{Slot: int64(r.Slot), KW: r.KW}
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return fmt.Errorf("ami: setting deadline: %w", err)
+	}
+	env := &Envelope{Type: TypeBatch, Batch: b}
+	if len(c.key) > 0 {
+		env.Auth = SignBatch(c.key, b)
+	}
+	if err := c.codec.Send(env); err != nil {
+		return err
+	}
+	resp, err := c.codec.Recv()
+	if err != nil {
+		return fmt.Errorf("ami: waiting for batch ack: %w", err)
+	}
+	switch resp.Type {
+	case TypeBatchAck:
+		if resp.BatchAck.Count != len(b.Readings) {
+			return fmt.Errorf("ami: batch ack covers %d readings, expected %d",
+				resp.BatchAck.Count, len(b.Readings))
+		}
+		if last := b.Readings[len(b.Readings)-1].Slot; resp.BatchAck.LastSlot != last {
+			return fmt.Errorf("ami: batch ack for slot %d, expected %d", resp.BatchAck.LastSlot, last)
+		}
+		return nil
+	case TypeError:
+		perr := &ProtocolError{Code: resp.Code, Message: resp.Error}
+		if resp.Code == CodeAuth {
+			perr.cause = &AuthError{MeterID: b.MeterID, Slot: b.Readings[0].Slot}
+		}
+		return perr
+	default:
+		return fmt.Errorf("ami: unexpected response type %q", resp.Type)
+	}
 }
 
 // Close terminates the connection.

@@ -18,6 +18,10 @@ const (
 	// CodeAuth: the reading's HMAC failed verification (or the meter has
 	// no enrolled key). Permanent.
 	CodeAuth = "auth"
+	// CodeOversized: a wire frame exceeded the peer's MaxFrameSize bound.
+	// Permanent for this session — the framing is unrecoverable once a
+	// frame has been abandoned mid-stream.
+	CodeOversized = "oversized"
 	// CodeBusy: the head-end is at its connection limit. Transient — the
 	// meter should back off and redial.
 	CodeBusy = "busy"
@@ -40,6 +44,10 @@ var (
 	// ErrBusy marks an accept-time rejection because the head-end is at
 	// its concurrent-connection limit. Retryable after backoff.
 	ErrBusy = errors.New("ami: head-end at connection limit")
+	// ErrOversized marks a frame that exceeded the MaxFrameSize bound —
+	// either one the local codec refused to assemble from the wire, or a
+	// head-end rejection of a frame we sent.
+	ErrOversized = errors.New("ami: frame exceeds size limit")
 	// ErrListening is returned by a second Listen on a server that already
 	// has a live listener.
 	ErrListening = errors.New("ami: already listening")
@@ -89,6 +97,8 @@ func (e *ProtocolError) Is(target error) bool {
 		return e.Code == CodeSessionMismatch
 	case ErrBusy:
 		return e.Code == CodeBusy
+	case ErrOversized:
+		return e.Code == CodeOversized
 	}
 	return false
 }
@@ -103,6 +113,8 @@ func errorEnvelope(err error) *Envelope {
 		code = CodeAuth
 	case errors.Is(err, ErrSessionMismatch):
 		code = CodeSessionMismatch
+	case errors.Is(err, ErrOversized):
+		code = CodeOversized
 	}
 	return &Envelope{Type: TypeError, Code: code, Error: err.Error()}
 }

@@ -2,6 +2,7 @@ package ami
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -28,8 +29,33 @@ func FuzzCodecRecv(f *testing.F) {
 	f.Add(`not json`)
 	f.Add(``)
 	f.Add(`{"type":"reading","reading":{"meter_id":"","slot":-1,"kw":-2}}` + "\n")
+	// Wire v2 shapes: negotiation hellos, batch frames, batch acks, and the
+	// non-finite / oversized poison the bounded decoder must refuse.
+	f.Add(`{"type":"hello","hello":{"meter_id":"m1","ver":2,"max_batch":16}}` + "\n")
+	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[{"slot":0,"kw":1.5},{"slot":1,"kw":2}]}}` + "\n")
+	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[]}}` + "\n")
+	f.Add(`{"type":"batch_ack","batch_ack":{"count":2,"last_slot":1}}` + "\n")
+	f.Add(`{"type":"reading","reading":{"meter_id":"m1","slot":0,"kw":1e999}}` + "\n")
+	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[{"slot":0,"kw":-1e999}]}}` + "\n")
+	f.Add(`{"type":"hello","hello":{"meter_id":"` + strings.Repeat("A", 200) + `"}}` + "\n")
+	f.Add(strings.Repeat("x", 300))
 
 	f.Fuzz(func(t *testing.T, input string) {
+		// A tightly bounded codec must never panic either, and when it
+		// reports an oversized frame the input's first frame really must
+		// exceed the bound.
+		const limit = 64
+		lim := NewCodecLimit(rw{Reader: strings.NewReader(input), Writer: io.Discard}, limit)
+		if _, lerr := lim.Recv(); lerr != nil && errors.Is(lerr, ErrOversized) {
+			first := len(input)
+			if i := strings.IndexByte(input, '\n'); i >= 0 {
+				first = i + 1
+			}
+			if first <= limit {
+				t.Fatalf("codec reported oversized for a %d-byte frame under the %d-byte limit", first, limit)
+			}
+		}
+
 		c := NewCodec(rw{Reader: strings.NewReader(input), Writer: io.Discard})
 		env, err := c.Recv()
 		if err != nil {
@@ -58,6 +84,19 @@ func FuzzCodecRecv(f *testing.F) {
 		}
 		if env.Type == TypeError && back.Code != env.Code {
 			t.Fatalf("round-trip changed error code: %q vs %q", back.Code, env.Code)
+		}
+		if env.Type == TypeBatch {
+			if back.Batch.MeterID != env.Batch.MeterID || len(back.Batch.Readings) != len(env.Batch.Readings) {
+				t.Fatalf("round-trip changed batch shape: %+v vs %+v", back.Batch, env.Batch)
+			}
+			for i := range env.Batch.Readings {
+				if back.Batch.Readings[i] != env.Batch.Readings[i] {
+					t.Fatalf("round-trip changed batch reading %d: %+v vs %+v", i, back.Batch.Readings[i], env.Batch.Readings[i])
+				}
+			}
+		}
+		if env.Type == TypeBatchAck && *back.BatchAck != *env.BatchAck {
+			t.Fatalf("round-trip changed batch ack: %+v vs %+v", back.BatchAck, env.BatchAck)
 		}
 	})
 }

@@ -1,9 +1,7 @@
 package ami
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"net"
 	"sort"
@@ -37,6 +35,17 @@ type HeadEndConfig struct {
 	IdleTimeout time.Duration
 	// DrainTimeout is the Close grace period (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// MaxFrameSize bounds one inbound wire frame (0 = DefaultMaxFrameSize).
+	// A hostile meter streaming an endless frame is cut off at this bound
+	// with a CodeOversized rejection instead of ballooning memory.
+	MaxFrameSize int
+	// MaxBatch caps readings per v2 batch frame (0 = DefaultMaxBatch),
+	// advertised to v2 clients in the hello response.
+	MaxBatch int
+	// QueueDepth bounds each shard's async ingest queue, in jobs (sharded
+	// head-ends only; 0 = DefaultShardQueueDepth). A full queue delays
+	// that shard's acks — backpressure instead of unbounded buffering.
+	QueueDepth int
 }
 
 func (c *HeadEndConfig) applyDefaults() {
@@ -48,6 +57,12 @@ func (c *HeadEndConfig) applyDefaults() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.MaxFrameSize <= 0 {
+		c.MaxFrameSize = DefaultMaxFrameSize
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
 	}
 }
 
@@ -160,6 +175,23 @@ func (h *HeadEnd) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// sessionEnv assembles the shared session state machine's environment.
+// Built per connection so a SetKeyring between Listen calls is honored;
+// everything inside is read-only for the session's lifetime.
+func (h *HeadEnd) sessionEnv() *sessionEnv {
+	h.mu.Lock()
+	kr := h.keyring
+	h.mu.Unlock()
+	return &sessionEnv{
+		cfg:   &h.cfg,
+		met:   h.met,
+		kr:    kr,
+		store: h,
+		log:   h.log,
+		done:  h.done,
+	}
+}
+
 func (h *HeadEnd) acceptLoop(ln net.Listener) {
 	defer h.wg.Done()
 	for {
@@ -183,7 +215,7 @@ func (h *HeadEnd) acceptLoop(ln net.Listener) {
 			go func() {
 				defer h.wg.Done()
 				defer h.untrack(conn, false)
-				h.rejectBusy(conn)
+				rejectBusyConn(conn, h.cfg.IdleTimeout, h.cfg.MaxFrameSize)
 			}()
 			continue
 		}
@@ -192,11 +224,12 @@ func (h *HeadEnd) acceptLoop(ln net.Listener) {
 		h.met.activeConns.Set(float64(h.active))
 		h.mu.Unlock()
 		h.met.connsTotal.Inc()
+		env := h.sessionEnv()
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
 			defer h.untrack(conn, true)
-			h.handle(conn)
+			env.serve(conn)
 		}()
 	}
 }
@@ -211,128 +244,8 @@ func (h *HeadEnd) untrack(conn net.Conn, session bool) {
 	h.mu.Unlock()
 }
 
-// rejectBusy turns away a connection accepted past the limit: it consumes
-// the hello, answers with a CodeBusy error, then drains until the meter
-// hangs up. The drain matters — closing with the meter's next frame unread
-// would trigger a TCP reset that can destroy the error envelope before the
-// meter reads it.
-func (h *HeadEnd) rejectBusy(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	grace := h.cfg.IdleTimeout
-	if grace > 5*time.Second {
-		grace = 5 * time.Second
-	}
-	_ = conn.SetDeadline(time.Now().Add(grace))
-	codec := NewCodec(conn)
-	_, _ = codec.Recv()
-	if err := codec.Send(&Envelope{Type: TypeError, Code: CodeBusy, Error: "head-end at connection limit"}); err != nil {
-		return
-	}
-	buf := make([]byte, 256)
-	for {
-		if _, err := conn.Read(buf); err != nil {
-			return
-		}
-	}
-}
-
-// recv arms the idle read deadline and reads one envelope.
-func (h *HeadEnd) recv(conn net.Conn, codec *Codec) (*Envelope, error) {
-	_ = conn.SetReadDeadline(time.Now().Add(h.cfg.IdleTimeout))
-	return codec.Recv()
-}
-
-// shuttingDown reports whether Close has begun.
-func (h *HeadEnd) shuttingDown() bool {
-	select {
-	case <-h.done:
-		return true
-	default:
-		return false
-	}
-}
-
-// handle serves one meter connection until EOF, protocol error, idle
-// timeout, or shutdown.
-func (h *HeadEnd) handle(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	codec := NewCodec(conn)
-
-	// First envelope must be a hello.
-	first, err := h.recv(conn, codec)
-	if err != nil {
-		return
-	}
-	if first.Type != TypeHello {
-		_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected hello"})
-		return
-	}
-	meterID := first.Hello.MeterID
-
-	for {
-		// Drain semantics: finish the in-flight request/ack cycle, then
-		// bow out between readings once shutdown has begun.
-		if h.shuttingDown() {
-			h.met.connsDrained.Inc()
-			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeShuttingDown, Error: "head-end shutting down"})
-			return
-		}
-		env, err := h.recv(conn, codec)
-		if errors.Is(err, io.EOF) {
-			return
-		}
-		if err != nil {
-			if h.shuttingDown() {
-				// Force-closed (or cut mid-read) during drain; nothing to say.
-				return
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				h.met.idleTimeouts.Inc()
-				h.log.Debug("session idle timeout", "meter", meterID)
-				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeIdleTimeout, Error: "idle timeout"})
-				return
-			}
-			// Anything else out of Recv is a wire-level fault: a malformed,
-			// oversized, or truncated frame.
-			h.met.codecErrors.Inc()
-			h.met.rejected.Inc()
-			_ = codec.Send(errorEnvelope(err))
-			return
-		}
-		start := time.Now()
-		if env.Type != TypeReading {
-			h.met.rejected.Inc()
-			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected reading"})
-			return
-		}
-		if env.Reading.MeterID != meterID {
-			h.met.rejected.Inc()
-			mismatch := fmt.Errorf("%w: reading claims %q, session is %q", ErrSessionMismatch, env.Reading.MeterID, meterID)
-			_ = codec.Send(errorEnvelope(mismatch))
-			return
-		}
-		h.mu.Lock()
-		kr := h.keyring
-		h.mu.Unlock()
-		if kr != nil {
-			if err := kr.VerifyEnvelope(env); err != nil {
-				h.met.authFailed.Inc()
-				h.log.Warn("reading failed MAC verification", "meter", meterID)
-				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeAuth, Error: err.Error()})
-				return
-			}
-		}
-		h.store(env.Reading)
-		err = codec.Send(&Envelope{Type: TypeAck, Ack: &AckMsg{Slot: env.Reading.Slot}})
-		h.met.ingestLatency.Observe(time.Since(start).Seconds())
-		if err != nil {
-			return
-		}
-	}
-}
-
-func (h *HeadEnd) store(r *ReadingMsg) {
+// storeReading stores one accepted reading synchronously (ingestStore).
+func (h *HeadEnd) storeReading(r *ReadingMsg) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	m, ok := h.readings[r.MeterID]
@@ -342,6 +255,21 @@ func (h *HeadEnd) store(r *ReadingMsg) {
 	}
 	m[timeseries.Slot(r.Slot)] = r.KW
 	h.met.accepted.Inc()
+}
+
+// storeBatch stores an accepted batch under one lock hold (ingestStore).
+func (h *HeadEnd) storeBatch(b *BatchMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.readings[b.MeterID]
+	if !ok {
+		m = make(map[timeseries.Slot]float64, len(b.Readings))
+		h.readings[b.MeterID] = m
+	}
+	for _, r := range b.Readings {
+		m[timeseries.Slot(r.Slot)] = r.KW
+	}
+	h.met.accepted.Add(int64(len(b.Readings)))
 }
 
 // Close stops the listener and drains active sessions: handlers get

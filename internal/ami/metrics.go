@@ -18,7 +18,22 @@ const (
 	metricForcedCloses  = "fdeta_ami_forced_closes_total"
 	metricCodecErrors   = "fdeta_ami_codec_errors_total"
 	metricIngestLatency = "fdeta_ami_ingest_latency_seconds"
+
+	// The batched/sharded ingestion tier's instruments. Batch counters are
+	// registered on every head-end (a plain head-end serving only v1
+	// traffic just leaves them at zero); the shard instruments are
+	// registered per shard by ShardedHeadEnd with a shard label.
+	metricBatchFrames     = "fdeta_ami_batch_frames_total"
+	metricBatchSize       = "fdeta_ami_batch_readings"
+	metricShardStored     = "fdeta_ami_shard_readings_total"
+	metricShardQueueDepth = "fdeta_ami_shard_queue_depth"
 )
+
+// batchSizeBuckets are the upper bounds for the readings-per-batch-frame
+// histogram: powers of two up to the default batch cap.
+func batchSizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+}
 
 // headEndMetrics holds the registry-backed instruments for one head-end.
 // Every counter the old mutex-and-bump HeadEndStats tracked lives here as an
@@ -38,6 +53,8 @@ type headEndMetrics struct {
 	forcedCloses  *obs.Counter // fdeta_ami_forced_closes_total
 	codecErrors   *obs.Counter // fdeta_ami_codec_errors_total
 	ingestLatency *obs.Histogram
+	batchFrames   *obs.Counter   // fdeta_ami_batch_frames_total
+	batchSize     *obs.Histogram // fdeta_ami_batch_readings
 }
 
 // newHeadEndMetrics registers the head-end instrument set on reg. Each
@@ -68,6 +85,10 @@ func newHeadEndMetrics(reg *obs.Registry) *headEndMetrics {
 		codecErrors: reg.Counter(metricCodecErrors,
 			"malformed or oversized frames on the wire"),
 		ingestLatency: reg.Histogram(metricIngestLatency,
-			"reading receipt to acknowledgement, per message", obs.LatencyBuckets()),
+			"frame receipt through storage, per accepted message", obs.FineLatencyBuckets()),
+		batchFrames: reg.Counter(metricBatchFrames,
+			"v2 batch frames accepted and acknowledged"),
+		batchSize: reg.Histogram(metricBatchSize,
+			"readings per accepted batch frame", batchSizeBuckets()),
 	}
 }

@@ -111,6 +111,80 @@ func TestStatsMatchesRegistry(t *testing.T) {
 	}
 }
 
+// TestIngestLatencyMatchesAcceptedMessages pins the observation point of
+// the ingest-latency histogram: exactly one sample per *accepted message*
+// (a single reading or a whole batch frame), never for rejected traffic.
+// The original instrumentation sampled before validation, so auth failures
+// and protocol rejects polluted the latency distribution.
+func TestIngestLatencyMatchesAcceptedMessages(t *testing.T) {
+	reg := obs.NewRegistry()
+	key := []byte("latency-test-key")
+	head := New(
+		WithMetrics(reg),
+		WithKeyring(NewKeyring(map[string][]byte{"good": key, "bad": key})),
+		WithConfig(HeadEndConfig{MaxBatch: 10, DrainTimeout: time.Second}),
+	)
+	addr, err := head.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer head.Close()
+
+	// 5 accepted v1 singles → 5 observations, 5 readings.
+	v1, err := DialAuth(addr, "good", key, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if err := v1.Send(meter.Reading{MeterID: "good", Slot: timeseries.Slot(s), KW: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = v1.Close()
+
+	// One auth-rejected single → 0 observations.
+	rej, err := DialAuth(addr, "bad", []byte("wrong-key"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rej.Send(meter.Reading{MeterID: "bad", Slot: 0, KW: 1}); err == nil {
+		t.Fatal("bad-key reading was accepted")
+	}
+	_ = rej.Close()
+
+	// 20 readings over a 10-cap v2 session → 2 batch frames → 2 observations.
+	v2, err := DialBatch(addr, "good", key, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]meter.Reading, 20)
+	for i := range rs {
+		rs[i] = meter.Reading{MeterID: "good", Slot: timeseries.Slot(100 + i), KW: 2}
+	}
+	if err := v2.SendBatch(rs); err != nil {
+		t.Fatal(err)
+	}
+	_ = v2.Close()
+
+	hist := reg.Histogram("fdeta_ami_ingest_latency_seconds", "", obs.FineLatencyBuckets())
+	if got := hist.Count(); got != 7 {
+		t.Errorf("latency observations = %d, want 7 (5 singles + 2 batch frames)", got)
+	}
+	st := head.Stats()
+	if st.Accepted != 25 {
+		t.Errorf("accepted readings = %d, want 25", st.Accepted)
+	}
+	if st.AuthFailed != 1 {
+		t.Errorf("auth failures = %d, want 1", st.AuthFailed)
+	}
+	if got := reg.Counter(metricBatchFrames, "").Value(); got != 2 {
+		t.Errorf("batch frames = %d, want 2", got)
+	}
+	if h := reg.Histogram(metricBatchSize, "", batchSizeBuckets()); h.Count() != 2 || h.Sum() != 20 {
+		t.Errorf("batch size histogram = count %d sum %g, want count 2 sum 20", h.Count(), h.Sum())
+	}
+}
+
 // TestPrivateRegistriesDoNotShare: two head-ends without WithMetrics must
 // not bleed counters into each other (the old package had one stats struct
 // per instance; the registry design must preserve that).

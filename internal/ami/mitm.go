@@ -193,26 +193,50 @@ func (m *MITM) handle(down net.Conn) {
 		if err != nil {
 			return
 		}
-		if env.Type == TypeReading && m.rewrite != nil {
-			orig := *env.Reading
-			rewritten := m.rewrite(orig)
+		switch env.Type {
+		case TypeReading:
 			m.mu.Lock()
 			m.nSeen++
-			if rewritten != orig {
-				m.nRewr++
+			m.mu.Unlock()
+			if m.rewrite != nil {
+				orig := *env.Reading
+				rewritten := m.rewrite(orig)
+				if rewritten != orig {
+					m.mu.Lock()
+					m.nRewr++
+					m.mu.Unlock()
+				}
+				env.Reading = &rewritten
 			}
-			m.mu.Unlock()
-			env.Reading = &rewritten
-		} else if env.Type == TypeReading {
+		case TypeBatch:
+			// A v2 batch frame is rewritten per reading: the same attack
+			// function applies, and the head-end's MAC check still catches
+			// the tampering when the meter signs its frames (the proxy
+			// forwards the now-stale signature untouched).
 			m.mu.Lock()
-			m.nSeen++
+			m.nSeen += len(env.Batch.Readings)
 			m.mu.Unlock()
+			if m.rewrite != nil {
+				for i, br := range env.Batch.Readings {
+					orig := ReadingMsg{MeterID: env.Batch.MeterID, Slot: br.Slot, KW: br.KW}
+					rewritten := m.rewrite(orig)
+					if rewritten != orig {
+						m.mu.Lock()
+						m.nRewr++
+						m.mu.Unlock()
+					}
+					env.Batch.Readings[i] = BatchReading{Slot: rewritten.Slot, KW: rewritten.KW}
+				}
+			}
 		}
 		if err := upCodec.Send(env); err != nil {
 			return
 		}
-		if env.Type == TypeHello {
-			continue // hello has no response
+		// A v1 hello has no response; a v2 hello (version advertised) is
+		// answered by the head-end with the negotiated hello, which must be
+		// relayed or the downstream handshake stalls.
+		if env.Type == TypeHello && (env.Hello == nil || env.Hello.Version < WireV2) {
+			continue
 		}
 		resp, err := m.recv(up, upCodec)
 		if err != nil {

@@ -26,6 +26,7 @@ type ReliableClient struct {
 	timeout time.Duration
 	retries int
 	backoff time.Duration
+	batch   bool // dial wire v2 and deliver via batch frames
 
 	c *Client
 }
@@ -51,12 +52,30 @@ func NewReliableClient(addr, meterID string, key []byte, timeout time.Duration, 
 	}, nil
 }
 
+// NewReliableBatchClient is NewReliableClient over wire v2: sessions are
+// dialed with DialBatch and SendAll delivers via batch frames, so a retry
+// redials and resends whole frames. Batch delivery stays idempotent for
+// the same reason single readings are — the head-end stores by (meter,
+// slot), so a frame re-sent after a lost ack overwrites identical values.
+func NewReliableBatchClient(addr, meterID string, key []byte, timeout time.Duration, retries int, backoff time.Duration) (*ReliableClient, error) {
+	rc, err := NewReliableClient(addr, meterID, key, timeout, retries, backoff)
+	if err != nil {
+		return nil, err
+	}
+	rc.batch = true
+	return rc, nil
+}
+
 // ensure dials if no live session exists.
 func (rc *ReliableClient) ensure() error {
 	if rc.c != nil {
 		return nil
 	}
-	c, err := DialAuth(rc.addr, rc.meterID, rc.key, rc.timeout)
+	dial := DialAuth
+	if rc.batch {
+		dial = DialBatch
+	}
+	c, err := dial(rc.addr, rc.meterID, rc.key, rc.timeout)
 	if err != nil {
 		return err
 	}
@@ -151,15 +170,53 @@ func (rc *ReliableClient) SendAll(rs []meter.Reading) error {
 	return rc.SendAllContext(context.Background(), rs)
 }
 
-// SendAllContext delivers a batch, retrying each reading independently.
-// Errors wrap the per-reading failure, so errors.Is still classifies them.
+// SendAllContext delivers a batch. On a v1 client each reading is retried
+// independently; a batch client delivers the whole set as v2 frames,
+// retrying the set on transport errors. Errors wrap the underlying
+// failure, so errors.Is still classifies them.
 func (rc *ReliableClient) SendAllContext(ctx context.Context, rs []meter.Reading) error {
+	if rc.batch {
+		return rc.sendBatchContext(ctx, rs)
+	}
 	for i := range rs {
 		if err := rc.SendContext(ctx, rs[i]); err != nil {
 			return fmt.Errorf("ami: reading %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// sendBatchContext delivers readings as v2 batch frames with the same
+// redial-and-retry loop SendContext applies to single readings.
+func (rc *ReliableClient) sendBatchContext(ctx context.Context, rs []meter.Reading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < rc.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepContext(ctx, retryDelay(rc.backoff, attempt)); err != nil {
+				return fmt.Errorf("ami: send aborted: %w", err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("ami: send aborted: %w", err)
+		}
+		if err := rc.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		err := rc.c.SendBatch(rs)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrRejected) {
+			return err
+		}
+		rc.drop()
+	}
+	return fmt.Errorf("ami: giving up after %d attempts: %w", rc.retries, lastErr)
 }
 
 // Close terminates any live session.

@@ -1,0 +1,243 @@
+package ami
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"time"
+)
+
+// ingestStore is the storage behind a meter session. HeadEnd implements it
+// with a synchronous mutex-guarded map write; ShardedHeadEnd routes each
+// store to the owning shard's async ingest queue so the session goroutine
+// never blocks on the readings map.
+type ingestStore interface {
+	storeReading(r *ReadingMsg)
+	storeBatch(b *BatchMsg)
+}
+
+// sessionEnv bundles everything a per-connection session handler needs.
+// One env is shared by all sessions of a head-end; it is read-only after
+// construction.
+type sessionEnv struct {
+	cfg   *HeadEndConfig
+	met   *headEndMetrics
+	kr    *Keyring
+	store ingestStore
+	log   *slog.Logger
+	done  <-chan struct{} // closed when the head-end starts shutting down
+}
+
+// shuttingDown reports whether Close has begun.
+func (e *sessionEnv) shuttingDown() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// recv arms the idle read deadline and reads one envelope.
+func (e *sessionEnv) recv(conn net.Conn, codec *Codec) (*Envelope, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(e.cfg.IdleTimeout))
+	return codec.Recv()
+}
+
+// serve runs one meter connection until EOF, protocol error, idle timeout,
+// or shutdown. It is the single protocol state machine behind both the
+// plain and the sharded head-end:
+//
+//	hello (v1: no response; v2: hello response with negotiated version and
+//	batch cap), then readings (v1/v2) and batches (v2 only), each
+//	acknowledged. A v2 session may send another hello mid-stream to rebind
+//	to a different meter, so one connection can serve a whole fleet.
+func (e *sessionEnv) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	codec := NewCodecLimit(conn, e.cfg.MaxFrameSize)
+
+	// First envelope must be a hello.
+	first, err := e.recv(conn, codec)
+	if err != nil {
+		if errors.Is(err, io.EOF) || e.shuttingDown() {
+			return
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			e.met.idleTimeouts.Inc()
+			return
+		}
+		// A malformed, oversized, or truncated hello is a wire-level fault;
+		// answer with the typed classification so the peer learns why.
+		e.met.codecErrors.Inc()
+		_ = codec.Send(errorEnvelope(err))
+		return
+	}
+	if first.Type != TypeHello {
+		_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected hello"})
+		return
+	}
+	meterID := first.Hello.MeterID
+	version := WireV1
+	if first.Hello.Version >= WireV2 {
+		// Negotiate down to the highest version both ends speak. The reply
+		// advertises the head-end's batch cap; v1 meters sent no version and
+		// get no reply, byte-identical to the pre-versioning protocol.
+		version = WireV2
+		err := codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{
+			MeterID: meterID, Version: WireV2, MaxBatch: e.cfg.MaxBatch,
+		}})
+		if err != nil {
+			return
+		}
+	}
+
+	for {
+		// Drain semantics: finish the in-flight request/ack cycle, then
+		// bow out between readings once shutdown has begun.
+		if e.shuttingDown() {
+			e.met.connsDrained.Inc()
+			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeShuttingDown, Error: "head-end shutting down"})
+			return
+		}
+		env, err := e.recv(conn, codec)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			if e.shuttingDown() {
+				// Force-closed (or cut mid-read) during drain; nothing to say.
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				e.met.idleTimeouts.Inc()
+				e.log.Debug("session idle timeout", "meter", meterID)
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeIdleTimeout, Error: "idle timeout"})
+				return
+			}
+			// Anything else out of Recv is a wire-level fault: a malformed,
+			// oversized, or truncated frame (oversized frames carry
+			// CodeOversized on the way back).
+			e.met.codecErrors.Inc()
+			e.met.rejected.Inc()
+			_ = codec.Send(errorEnvelope(err))
+			return
+		}
+
+		switch env.Type {
+		case TypeHello:
+			if version < WireV2 {
+				e.met.rejected.Inc()
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected reading"})
+				return
+			}
+			// v2 rebind: the session switches to another meter. Replied like
+			// the opening hello so the client can confirm the switch.
+			meterID = env.Hello.MeterID
+			err := codec.Send(&Envelope{Type: TypeHello, Hello: &HelloMsg{
+				MeterID: meterID, Version: WireV2, MaxBatch: e.cfg.MaxBatch,
+			}})
+			if err != nil {
+				return
+			}
+
+		case TypeReading:
+			start := time.Now()
+			if env.Reading.MeterID != meterID {
+				e.met.rejected.Inc()
+				mismatch := fmt.Errorf("%w: reading claims %q, session is %q", ErrSessionMismatch, env.Reading.MeterID, meterID)
+				_ = codec.Send(errorEnvelope(mismatch))
+				return
+			}
+			if e.kr != nil {
+				if err := e.kr.VerifyEnvelope(env); err != nil {
+					e.met.authFailed.Inc()
+					e.log.Warn("reading failed MAC verification", "meter", meterID)
+					_ = codec.Send(&Envelope{Type: TypeError, Code: CodeAuth, Error: err.Error()})
+					return
+				}
+			}
+			e.store.storeReading(env.Reading)
+			// Ingest latency covers receipt through storage, observed on
+			// exactly the accepted path: rejected readings never reach it,
+			// and a failed or stalled ack write cannot pollute the
+			// distribution with transport noise.
+			e.met.ingestLatency.Observe(time.Since(start).Seconds())
+			if err := codec.Send(&Envelope{Type: TypeAck, Ack: &AckMsg{Slot: env.Reading.Slot}}); err != nil {
+				return
+			}
+
+		case TypeBatch:
+			start := time.Now()
+			if version < WireV2 {
+				e.met.rejected.Inc()
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "batch frames require a v2 session"})
+				return
+			}
+			if n := len(env.Batch.Readings); n > e.cfg.MaxBatch {
+				e.met.rejected.Inc()
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol,
+					Error: fmt.Sprintf("batch of %d readings exceeds the advertised cap %d", n, e.cfg.MaxBatch)})
+				return
+			}
+			if env.Batch.MeterID != meterID {
+				e.met.rejected.Inc()
+				mismatch := fmt.Errorf("%w: batch claims %q, session is %q", ErrSessionMismatch, env.Batch.MeterID, meterID)
+				_ = codec.Send(errorEnvelope(mismatch))
+				return
+			}
+			if e.kr != nil {
+				if err := e.kr.VerifyEnvelope(env); err != nil {
+					e.met.authFailed.Inc()
+					e.log.Warn("batch failed MAC verification", "meter", meterID)
+					_ = codec.Send(&Envelope{Type: TypeError, Code: CodeAuth, Error: err.Error()})
+					return
+				}
+			}
+			e.store.storeBatch(env.Batch)
+			e.met.batchFrames.Inc()
+			e.met.batchSize.Observe(float64(len(env.Batch.Readings)))
+			e.met.ingestLatency.Observe(time.Since(start).Seconds())
+			last := env.Batch.Readings[len(env.Batch.Readings)-1].Slot
+			err := codec.Send(&Envelope{Type: TypeBatchAck, BatchAck: &BatchAckMsg{
+				Count: len(env.Batch.Readings), LastSlot: last,
+			}})
+			if err != nil {
+				return
+			}
+
+		default:
+			e.met.rejected.Inc()
+			_ = codec.Send(&Envelope{Type: TypeError, Code: CodeProtocol, Error: "expected reading"})
+			return
+		}
+	}
+}
+
+// rejectBusyConn turns away a connection accepted past the limit: it
+// consumes the hello, answers with a CodeBusy error, then drains until the
+// meter hangs up or the grace period ends. The drain matters — closing
+// with the meter's next frame unread would trigger a TCP reset that can
+// destroy the error envelope before the meter reads it.
+func rejectBusyConn(conn net.Conn, idleTimeout time.Duration, maxFrame int) {
+	defer func() { _ = conn.Close() }()
+	grace := idleTimeout
+	if grace > 5*time.Second {
+		grace = 5 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(grace))
+	codec := NewCodecLimit(conn, maxFrame)
+	_, _ = codec.Recv()
+	if err := codec.Send(&Envelope{Type: TypeError, Code: CodeBusy, Error: "head-end at connection limit"}); err != nil {
+		return
+	}
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}

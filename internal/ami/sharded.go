@@ -1,0 +1,430 @@
+package ami
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// DefaultShardQueueDepth bounds each shard's async ingest queue, in jobs
+// (a job is one reading or one whole batch frame). A full queue applies
+// backpressure: the enqueueing session blocks, which delays that meter's
+// ack — exactly the flow-control signal a well-behaved client responds to.
+const DefaultShardQueueDepth = 4096
+
+// ingestJob is one unit of work on a shard's queue: a batch of readings
+// for a single meter, or a flush sentinel.
+type ingestJob struct {
+	meterID  string
+	readings []BatchReading
+	flush    chan struct{} // non-nil: close it once the queue ahead is drained
+}
+
+// ingestShard owns one partition of the readings store: a private map, a
+// private mutex, and an async queue drained by a dedicated worker. Meter
+// IDs are hash-partitioned across shards, so two sessions for different
+// meters on different shards never contend on a lock or a map.
+type ingestShard struct {
+	mu       sync.Mutex
+	readings map[string]map[timeseries.Slot]float64
+
+	queue  chan ingestJob
+	stored *obs.Counter // fdeta_ami_shard_readings_total{shard=i}
+	depth  *obs.Gauge   // fdeta_ami_shard_queue_depth{shard=i}
+}
+
+// run drains the shard's queue into its readings map until the queue is
+// closed. It is the only writer of the shard's map, so session goroutines
+// never block on storage — the async decouple between decode and store.
+func (s *ingestShard) run() {
+	for job := range s.queue {
+		s.depth.Add(-1)
+		if job.flush != nil {
+			close(job.flush)
+			continue
+		}
+		s.mu.Lock()
+		m, ok := s.readings[job.meterID]
+		if !ok {
+			m = make(map[timeseries.Slot]float64, len(job.readings))
+			s.readings[job.meterID] = m
+		}
+		for _, r := range job.readings {
+			m[timeseries.Slot(r.Slot)] = r.KW
+		}
+		s.mu.Unlock()
+		s.stored.Add(int64(len(job.readings)))
+	}
+}
+
+// shardIndex hash-partitions a meter ID over n shards (FNV-1a).
+func shardIndex(meterID string, n int) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(meterID); i++ {
+		h ^= uint64(meterID[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// ShardedHeadEnd is the utility-scale collection server: one listener and
+// accept loop in front of shard-per-core ingest stores. Sessions speak the
+// same wire protocol as HeadEnd (v1 clients interoperate unchanged); each
+// accepted reading or batch is routed by meter-ID hash to its shard's
+// async queue, so the session goroutine acks without ever touching a
+// readings map. The coordinator merges shard stores and the shared
+// instrument registry into the same Stats()/Meters()/Series() view the
+// single-shard head-end exposes.
+type ShardedHeadEnd struct {
+	cfg    HeadEndConfig
+	shards []*ingestShard
+
+	mu      sync.Mutex
+	ln      net.Listener
+	closed  bool
+	keyring *Keyring
+	conns   map[net.Conn]bool
+	active  int
+
+	met *headEndMetrics
+	log *slog.Logger
+
+	done     chan struct{}
+	wg       sync.WaitGroup // accept loop + sessions
+	workerWG sync.WaitGroup // shard queue workers
+}
+
+// NewSharded creates an idle sharded head-end with the given shard count
+// (0 selects one shard per CPU core). Options are the same functional
+// options New accepts — lifecycle config, keyring, shared metrics
+// registry — applied to the coordinator as a whole.
+func NewSharded(shards int, opts ...Option) *ShardedHeadEnd {
+	// Reuse the option machinery: apply the options to a scratch HeadEnd
+	// (never started) and lift out the resolved config, keyring, and
+	// instrument set.
+	seed := New(opts...)
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sh := &ShardedHeadEnd{
+		cfg:     seed.cfg,
+		keyring: seed.keyring,
+		met:     seed.met,
+		conns:   make(map[net.Conn]bool),
+		done:    make(chan struct{}),
+		log:     obs.Logger("ami"),
+	}
+	depth := sh.cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultShardQueueDepth
+	}
+	reg := sh.met.reg
+	for i := 0; i < shards; i++ {
+		label := obs.L("shard", strconv.Itoa(i))
+		s := &ingestShard{
+			readings: make(map[string]map[timeseries.Slot]float64),
+			queue:    make(chan ingestJob, depth),
+			stored: reg.Counter(metricShardStored,
+				"readings written to this shard's store", label),
+			depth: reg.Gauge(metricShardQueueDepth,
+				"jobs waiting on this shard's ingest queue", label),
+		}
+		sh.shards = append(sh.shards, s)
+		sh.workerWG.Add(1)
+		go func() {
+			defer sh.workerWG.Done()
+			s.run()
+		}()
+	}
+	return sh
+}
+
+// Shards returns the shard count.
+func (sh *ShardedHeadEnd) Shards() int { return len(sh.shards) }
+
+// Metrics returns the registry holding this head-end's instruments (the
+// session-level fdeta_ami_* set plus the per-shard labeled instruments),
+// for export via obs.ServeAdmin or direct Snapshot().
+func (sh *ShardedHeadEnd) Metrics() *obs.Registry { return sh.met.reg }
+
+// shardFor routes a meter ID to its owning shard.
+func (sh *ShardedHeadEnd) shardFor(meterID string) *ingestShard {
+	return sh.shards[shardIndex(meterID, len(sh.shards))]
+}
+
+// storeReading enqueues one accepted reading on its shard (ingestStore).
+// The accepted counter is bumped at enqueue: once acknowledged, a reading
+// is the queue's responsibility and cannot be rejected.
+func (sh *ShardedHeadEnd) storeReading(r *ReadingMsg) {
+	s := sh.shardFor(r.MeterID)
+	s.depth.Add(1)
+	s.queue <- ingestJob{meterID: r.MeterID, readings: []BatchReading{{Slot: r.Slot, KW: r.KW}}}
+	sh.met.accepted.Inc()
+}
+
+// storeBatch enqueues an accepted batch frame on its shard (ingestStore).
+// The readings slice is owned by the decoded envelope and transfers to the
+// shard without copying.
+func (sh *ShardedHeadEnd) storeBatch(b *BatchMsg) {
+	s := sh.shardFor(b.MeterID)
+	s.depth.Add(1)
+	s.queue <- ingestJob{meterID: b.MeterID, readings: b.Readings}
+	sh.met.accepted.Add(int64(len(b.Readings)))
+}
+
+// Flush blocks until every reading enqueued before the call has reached
+// its shard's store, making reads exact at a quiescent point. Safe to call
+// concurrently with sessions (their later readings may or may not be
+// covered) and with Close.
+func (sh *ShardedHeadEnd) Flush() {
+	sh.mu.Lock()
+	if sh.closed {
+		// Close drains the queues itself; after it, stores are final.
+		sh.mu.Unlock()
+		return
+	}
+	chans := make([]chan struct{}, len(sh.shards))
+	for i, s := range sh.shards {
+		chans[i] = make(chan struct{})
+		s.depth.Add(1)
+		s.queue <- ingestJob{flush: chans[i]}
+	}
+	sh.mu.Unlock()
+	for _, c := range chans {
+		<-c
+	}
+}
+
+// Listen starts accepting connections and returns the bound address. A
+// head-end listens at most once; a second Listen returns ErrListening.
+func (sh *ShardedHeadEnd) Listen(addr string) (string, error) {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return "", fmt.Errorf("ami: sharded head-end: %w", ErrClosed)
+	}
+	if sh.ln != nil {
+		sh.mu.Unlock()
+		return "", fmt.Errorf("ami: sharded head-end: %w", ErrListening)
+	}
+	sh.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ami: sharded head-end listen: %w", err)
+	}
+	sh.mu.Lock()
+	if sh.closed || sh.ln != nil {
+		reason := ErrClosed
+		if sh.ln != nil {
+			reason = ErrListening
+		}
+		sh.mu.Unlock()
+		_ = ln.Close()
+		return "", fmt.Errorf("ami: sharded head-end: %w", reason)
+	}
+	sh.ln = ln
+	sh.mu.Unlock()
+
+	sh.log.Info("sharded head-end listening",
+		"addr", ln.Addr().String(), "shards", len(sh.shards))
+	sh.wg.Add(1)
+	go sh.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (sh *ShardedHeadEnd) acceptLoop(ln net.Listener) {
+	defer sh.wg.Done()
+	env := &sessionEnv{
+		cfg:   &sh.cfg,
+		met:   sh.met,
+		kr:    sh.keyring,
+		store: sh,
+		log:   sh.log,
+		done:  sh.done,
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if sh.active >= sh.cfg.MaxConns {
+			sh.conns[conn] = false
+			sh.mu.Unlock()
+			sh.met.limitRejected.Inc()
+			sh.log.Warn("connection rejected at limit", "remote", conn.RemoteAddr())
+			sh.wg.Add(1)
+			go func() {
+				defer sh.wg.Done()
+				defer sh.untrack(conn, false)
+				rejectBusyConn(conn, sh.cfg.IdleTimeout, sh.cfg.MaxFrameSize)
+			}()
+			continue
+		}
+		sh.conns[conn] = true
+		sh.active++
+		sh.met.activeConns.Set(float64(sh.active))
+		sh.mu.Unlock()
+		sh.met.connsTotal.Inc()
+		sh.wg.Add(1)
+		go func() {
+			defer sh.wg.Done()
+			defer sh.untrack(conn, true)
+			env.serve(conn)
+		}()
+	}
+}
+
+func (sh *ShardedHeadEnd) untrack(conn net.Conn, session bool) {
+	sh.mu.Lock()
+	delete(sh.conns, conn)
+	if session {
+		sh.active--
+		sh.met.activeConns.Set(float64(sh.active))
+	}
+	sh.mu.Unlock()
+}
+
+// Close stops the listener, drains active sessions (force-closing
+// stragglers at the drain deadline, like HeadEnd.Close), then closes the
+// shard queues and waits for the workers to finish storing everything that
+// was acknowledged. Bounded even when a meter holds an idle connection.
+func (sh *ShardedHeadEnd) Close() error {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		sh.wg.Wait()
+		sh.workerWG.Wait()
+		return nil
+	}
+	sh.closed = true
+	ln := sh.ln
+	close(sh.done)
+	sh.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		sh.wg.Wait()
+		close(drained)
+	}()
+	timer := time.NewTimer(sh.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-drained:
+	case <-timer.C:
+		sh.mu.Lock()
+		forced := 0
+		for conn := range sh.conns {
+			sh.met.forcedCloses.Inc()
+			forced++
+			_ = conn.Close()
+		}
+		sh.mu.Unlock()
+		if forced > 0 {
+			sh.log.Warn("force-closed stragglers at drain deadline", "count", forced)
+		}
+		<-drained
+	}
+	// Sessions are gone; nothing can enqueue anymore (Flush holds the
+	// mutex while enqueueing and bows out once closed is set). Drain the
+	// queues so every acknowledged reading is durably in its shard store.
+	sh.mu.Lock()
+	for _, s := range sh.shards {
+		close(s.queue)
+	}
+	sh.mu.Unlock()
+	sh.workerWG.Wait()
+	return err
+}
+
+// Stats snapshots the ingestion counters from the shared registry-backed
+// instruments — one merged view across all shards and sessions.
+func (sh *ShardedHeadEnd) Stats() HeadEndStats {
+	sh.mu.Lock()
+	active := sh.active
+	sh.mu.Unlock()
+	m := sh.met
+	return HeadEndStats{
+		ActiveConns:   active,
+		TotalConns:    m.connsTotal.Value(),
+		LimitRejected: m.limitRejected.Value(),
+		Accepted:      m.accepted.Value(),
+		Rejected:      m.rejected.Value(),
+		AuthFailed:    m.authFailed.Value(),
+		IdleTimeouts:  m.idleTimeouts.Value(),
+		ForcedCloses:  m.forcedCloses.Value(),
+	}
+}
+
+// Meters returns the IDs that have reported at least one stored reading,
+// merged across shards and sorted. Call Flush first for an exact view
+// while sessions are live.
+func (sh *ShardedHeadEnd) Meters() []string {
+	var out []string
+	for _, s := range sh.shards {
+		s.mu.Lock()
+		for id := range s.readings {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored readings for a meter.
+func (sh *ShardedHeadEnd) Count(meterID string) int {
+	s := sh.shardFor(meterID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.readings[meterID])
+}
+
+// Reading fetches one stored reading.
+func (sh *ShardedHeadEnd) Reading(meterID string, slot timeseries.Slot) (float64, bool) {
+	s := sh.shardFor(meterID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.readings[meterID][slot]
+	return v, ok
+}
+
+// Series assembles the dense series [0, n) for a meter. Missing slots are
+// an error, exactly as on HeadEnd: the detection pipeline must not treat
+// gaps as zero consumption.
+func (sh *ShardedHeadEnd) Series(meterID string, n int) (timeseries.Series, error) {
+	s := sh.shardFor(meterID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.readings[meterID]
+	if !ok {
+		return nil, fmt.Errorf("ami: no readings for meter %q", meterID)
+	}
+	out := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		v, ok := m[timeseries.Slot(i)]
+		if !ok {
+			return nil, fmt.Errorf("ami: meter %q missing reading for slot %d", meterID, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

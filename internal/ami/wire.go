@@ -7,22 +7,63 @@
 //
 // The wire protocol is newline-delimited JSON envelopes over TCP. Every
 // reading is acknowledged so tests can assert exactly-once collection.
+//
+// Two protocol versions share the same framing:
+//
+//	v1  one reading per frame, hello has no response. This is the original
+//	    wire dialect; v1 peers are byte-identical to the pre-versioning
+//	    protocol.
+//	v2  negotiated at hello (the client advertises "ver":2, the head-end
+//	    answers with its own hello carrying the agreed version and its
+//	    batch cap). v2 adds batch frames (N readings per envelope, one
+//	    batch-ack per frame) and mid-session hello frames that rebind the
+//	    session to another meter, so one connection can carry a whole
+//	    fleet's traffic.
+//
+// Because the threat model assumes the peer may be hostile, the codec
+// trusts nothing: frames are bounded by MaxFrameSize (a meter streaming
+// one multi-gigabyte frame gets a typed CodeOversized rejection, not the
+// head-end's address space), and Validate rejects non-finite kW values so
+// NaN/±Inf poison can never reach the readings store.
 package ami
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/timeseries"
 )
 
 // Message types carried in an Envelope.
 const (
-	TypeHello   = "hello"
-	TypeReading = "reading"
-	TypeAck     = "ack"
-	TypeError   = "error"
+	TypeHello    = "hello"
+	TypeReading  = "reading"
+	TypeAck      = "ack"
+	TypeError    = "error"
+	TypeBatch    = "batch"
+	TypeBatchAck = "batch_ack"
+)
+
+// Wire protocol versions. A hello with no version field is a v1 peer.
+const (
+	// WireV1 is the original one-reading-per-frame dialect.
+	WireV1 = 1
+	// WireV2 adds batch frames and mid-session meter rebinding.
+	WireV2 = 2
+)
+
+// Frame and batch bounds.
+const (
+	// DefaultMaxFrameSize bounds one wire frame. A frame is one JSON
+	// envelope plus its newline; the largest legitimate frame is a full
+	// batch of signed readings, which fits comfortably in 1 MiB.
+	DefaultMaxFrameSize = 1 << 20
+	// DefaultMaxBatch is the head-end's default cap on readings per batch
+	// frame, advertised to v2 clients in the hello response.
+	DefaultMaxBatch = 1024
 )
 
 // Envelope is the single wire frame. Type selects which payload field is
@@ -32,19 +73,34 @@ type Envelope struct {
 	Hello   *HelloMsg   `json:"hello,omitempty"`
 	Reading *ReadingMsg `json:"reading,omitempty"`
 	Ack     *AckMsg     `json:"ack,omitempty"`
-	Error   string      `json:"error,omitempty"`
+	// Batch carries N readings for one meter in one frame (v2 sessions).
+	Batch *BatchMsg `json:"batch,omitempty"`
+	// BatchAck acknowledges a whole batch frame (v2 sessions).
+	BatchAck *BatchAckMsg `json:"batch_ack,omitempty"`
+	Error    string       `json:"error,omitempty"`
 	// Code is the machine-readable classification of a TypeError envelope
 	// (see the Code* constants). Optional: peers predating the taxonomy
 	// send errors with no code, which readers treat as permanent.
 	Code string `json:"code,omitempty"`
-	// Auth is the optional hex HMAC-SHA256 tag over the reading (see
-	// SignReading). Verified only when the head-end runs with a keyring.
+	// Auth is the optional hex HMAC-SHA256 tag over the reading or batch
+	// (see SignReading, SignBatch). Verified only when the head-end runs
+	// with a keyring.
 	Auth string `json:"auth,omitempty"`
 }
 
-// HelloMsg introduces a meter at connection start.
+// HelloMsg introduces a meter at connection start (and, on v2 sessions,
+// rebinds the session to another meter mid-stream). The version and batch
+// fields are omitted when zero, so a v1 hello is byte-identical to the
+// pre-versioning wire format.
 type HelloMsg struct {
 	MeterID string `json:"meter_id"`
+	// Version is the highest protocol version the sender speaks (0 means
+	// v1: the field predates versioning). In the head-end's hello response
+	// it is the negotiated version for the session.
+	Version int `json:"ver,omitempty"`
+	// MaxBatch is only set in the head-end's hello response: the largest
+	// batch frame it will accept. Clients must chunk accordingly.
+	MaxBatch int `json:"max_batch,omitempty"`
 }
 
 // ReadingMsg reports one average-demand measurement.
@@ -54,9 +110,43 @@ type ReadingMsg struct {
 	KW      float64 `json:"kw"`
 }
 
+// BatchReading is one (slot, kW) pair inside a batch frame. The meter ID
+// lives once on the enclosing BatchMsg.
+type BatchReading struct {
+	Slot int64   `json:"slot"`
+	KW   float64 `json:"kw"`
+}
+
+// BatchMsg reports N measurements for one meter in a single frame.
+type BatchMsg struct {
+	MeterID  string         `json:"meter_id"`
+	Readings []BatchReading `json:"readings"`
+}
+
 // AckMsg acknowledges a reading by slot.
 type AckMsg struct {
 	Slot int64 `json:"slot"`
+}
+
+// BatchAckMsg acknowledges one batch frame: how many readings were stored
+// and the last slot covered, so the client can verify nothing was dropped.
+type BatchAckMsg struct {
+	Count    int   `json:"count"`
+	LastSlot int64 `json:"last_slot"`
+}
+
+// validKW rejects the values the readings store must never hold: negative
+// demand and the non-finite floats (NaN compares false against every
+// bound, so a plain `< 0` check waves it straight through — the hole this
+// guard closes).
+func validKW(kw float64) error {
+	if math.IsNaN(kw) || math.IsInf(kw, 0) {
+		return fmt.Errorf("ami: reading %g kW is not finite", kw)
+	}
+	if kw < 0 {
+		return fmt.Errorf("ami: reading %g kW negative", kw)
+	}
+	return nil
 }
 
 // Validate checks envelope well-formedness.
@@ -65,6 +155,10 @@ func (e *Envelope) Validate() error {
 	case TypeHello:
 		if e.Hello == nil || e.Hello.MeterID == "" {
 			return fmt.Errorf("ami: hello envelope missing meter ID")
+		}
+		if e.Hello.Version < 0 || e.Hello.MaxBatch < 0 {
+			return fmt.Errorf("ami: hello version %d / max batch %d negative",
+				e.Hello.Version, e.Hello.MaxBatch)
 		}
 	case TypeReading:
 		if e.Reading == nil {
@@ -76,12 +170,37 @@ func (e *Envelope) Validate() error {
 		if e.Reading.Slot < 0 {
 			return fmt.Errorf("ami: reading slot %d negative", e.Reading.Slot)
 		}
-		if e.Reading.KW < 0 {
-			return fmt.Errorf("ami: reading %g kW negative", e.Reading.KW)
+		if err := validKW(e.Reading.KW); err != nil {
+			return err
+		}
+	case TypeBatch:
+		if e.Batch == nil {
+			return fmt.Errorf("ami: batch envelope missing payload")
+		}
+		if e.Batch.MeterID == "" {
+			return fmt.Errorf("ami: batch missing meter ID")
+		}
+		if len(e.Batch.Readings) == 0 {
+			return fmt.Errorf("ami: batch envelope carries no readings")
+		}
+		for i, r := range e.Batch.Readings {
+			if r.Slot < 0 {
+				return fmt.Errorf("ami: batch reading %d slot %d negative", i, r.Slot)
+			}
+			if err := validKW(r.KW); err != nil {
+				return fmt.Errorf("ami: batch reading %d: %w", i, err)
+			}
 		}
 	case TypeAck:
 		if e.Ack == nil {
 			return fmt.Errorf("ami: ack envelope missing payload")
+		}
+	case TypeBatchAck:
+		if e.BatchAck == nil {
+			return fmt.Errorf("ami: batch-ack envelope missing payload")
+		}
+		if e.BatchAck.Count < 1 {
+			return fmt.Errorf("ami: batch-ack count %d < 1", e.BatchAck.Count)
 		}
 	case TypeError:
 		if e.Error == "" {
@@ -93,17 +212,33 @@ func (e *Envelope) Validate() error {
 	return nil
 }
 
-// Codec reads and writes envelopes over a stream.
+// Codec reads and writes envelopes over a stream. Inbound frames are
+// bounded: a frame that exceeds the codec's limit yields a typed
+// *ProtocolError with CodeOversized instead of buffering without bound.
 type Codec struct {
-	enc *json.Encoder
-	dec *json.Decoder
+	w   io.Writer
+	r   *bufio.Reader
+	max int
+	buf []byte // frame assembly scratch, reused across Recv calls
 }
 
-// NewCodec wraps a duplex stream.
+// NewCodec wraps a duplex stream with the default frame bound.
 func NewCodec(rw io.ReadWriter) *Codec {
+	return NewCodecLimit(rw, DefaultMaxFrameSize)
+}
+
+// NewCodecLimit wraps a duplex stream with an explicit frame bound
+// (maxFrame <= 0 selects DefaultMaxFrameSize). The bound applies to both
+// directions: oversized outbound envelopes are refused locally rather than
+// shipped to a peer that would reject them anyway.
+func NewCodecLimit(rw io.ReadWriter, maxFrame int) *Codec {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameSize
+	}
 	return &Codec{
-		enc: json.NewEncoder(rw),
-		dec: json.NewDecoder(rw),
+		w:   rw,
+		r:   bufio.NewReader(rw),
+		max: maxFrame,
 	}
 }
 
@@ -112,20 +247,65 @@ func (c *Codec) Send(e *Envelope) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	if err := c.enc.Encode(e); err != nil {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ami: encoding %s envelope: %w", e.Type, err)
+	}
+	if len(buf)+1 > c.max {
+		return fmt.Errorf("ami: encoding %s envelope: %w", e.Type,
+			&ProtocolError{Code: CodeOversized,
+				Message: fmt.Sprintf("frame is %d bytes, limit %d", len(buf)+1, c.max)})
+	}
+	buf = append(buf, '\n')
+	if _, err := c.w.Write(buf); err != nil {
 		return fmt.Errorf("ami: encoding %s envelope: %w", e.Type, err)
 	}
 	return nil
 }
 
+// readFrame assembles one newline-terminated frame, refusing to buffer
+// past the codec's limit. A final frame cut off by EOF is returned as-is
+// for the JSON layer to reject; a clean EOF at a frame boundary surfaces
+// as io.EOF unwrapped.
+func (c *Codec) readFrame() ([]byte, error) {
+	c.buf = c.buf[:0]
+	for {
+		chunk, err := c.r.ReadSlice('\n')
+		c.buf = append(c.buf, chunk...)
+		if len(c.buf) > c.max {
+			return nil, &ProtocolError{Code: CodeOversized,
+				Message: fmt.Sprintf("frame exceeds %d-byte limit", c.max)}
+		}
+		switch err {
+		case nil:
+			return c.buf, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(c.buf) == 0 {
+				return nil, io.EOF
+			}
+			return c.buf, nil
+		default:
+			return nil, err
+		}
+	}
+}
+
 // Recv reads and validates one envelope. It returns io.EOF unwrapped when
-// the peer closed cleanly.
+// the peer closed cleanly; an oversized frame returns a wrapped
+// *ProtocolError carrying CodeOversized (match with errors.Is(err,
+// ErrOversized)).
 func (c *Codec) Recv() (*Envelope, error) {
-	var e Envelope
-	if err := c.dec.Decode(&e); err != nil {
+	frame, err := c.readFrame()
+	if err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
+		return nil, fmt.Errorf("ami: decoding envelope: %w", err)
+	}
+	var e Envelope
+	if err := json.Unmarshal(frame, &e); err != nil {
 		return nil, fmt.Errorf("ami: decoding envelope: %w", err)
 	}
 	if err := e.Validate(); err != nil {

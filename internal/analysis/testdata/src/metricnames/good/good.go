@@ -13,6 +13,13 @@ const (
 	// instruments the population trainer registers.
 	metricTrainWarm    = "fdeta_good_train_warm_starts_total"
 	metricTrainWorkers = "fdeta_good_train_workers"
+	// The sharded-ingestion shapes: a counter family labelled per shard, a
+	// suffix-free per-shard queue gauge, and a suffix-free batch-size
+	// histogram, mirroring the fdeta_ami_shard_* / fdeta_ami_batch_*
+	// instruments the sharded head-end registers.
+	metricShardStored = "fdeta_good_shard_readings_total"
+	metricShardDepth  = "fdeta_good_shard_queue_depth"
+	metricBatchSize   = "fdeta_good_batch_readings"
 )
 
 // Register registers a labelled counter family and a histogram.
@@ -27,4 +34,14 @@ func RegisterTrainer(reg *obs.Registry) {
 	reg.Counter(metricTrainWarm, "warm-start attempts", obs.L("outcome", "hit"))
 	reg.Counter(metricTrainWarm, "warm-start attempts", obs.L("outcome", "miss"))
 	reg.Gauge(metricTrainWorkers, "trainer worker-pool size")
+}
+
+// RegisterShards registers the sharded-ingestion-shaped instruments: one
+// counter/gauge pair per shard index plus the batch-size distribution.
+func RegisterShards(reg *obs.Registry, shards []string) {
+	for _, s := range shards {
+		reg.Counter(metricShardStored, "readings stored per shard", obs.L("shard", s))
+		reg.Gauge(metricShardDepth, "ingest queue depth per shard", obs.L("shard", s))
+	}
+	reg.Histogram(metricBatchSize, "readings per batch frame", []float64{1, 2, 4, 8})
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Snapshot merging and histogram quantiles: the sharded ingestion tier
+// runs several registries side by side (a head-end's instruments plus a
+// load harness's client-side timers), and the benchmark reports want one
+// coherent view with p50/p99 figures derived from the histogram buckets.
+
+// MergeSnapshots combines point-in-time snapshots into one: instruments
+// with the same (name, labels, type) identity are summed — counters and
+// gauges add their values, histograms add per-bucket counts, totals, and
+// sums — and distinct identities are concatenated. Histograms with
+// mismatched bucket grids keep the first snapshot's grid and fold the
+// other's total count and sum in, so aggregate rates stay exact even when
+// bucket detail cannot be aligned. The inputs are not modified.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	type slot struct{ idx int }
+	var out Snapshot
+	byKey := make(map[string]slot)
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			k := m.Type + "\x00" + key(m.Name, m.Labels)
+			if prev, ok := byKey[k]; ok {
+				mergeMetric(&out.Metrics[prev.idx], &m)
+				continue
+			}
+			byKey[k] = slot{idx: len(out.Metrics)}
+			out.Metrics = append(out.Metrics, copyMetric(&m))
+		}
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool {
+		a, b := &out.Metrics[i], &out.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return key(a.Name, a.Labels) < key(b.Name, b.Labels)
+	})
+	return out
+}
+
+// copyMetric deep-copies a metric so merging never aliases input slices.
+func copyMetric(m *Metric) Metric {
+	out := *m
+	if len(m.Labels) > 0 {
+		out.Labels = append([]Label(nil), m.Labels...)
+	}
+	if len(m.Buckets) > 0 {
+		out.Buckets = append([]Bucket(nil), m.Buckets...)
+	}
+	return out
+}
+
+// mergeMetric folds src into dst (same identity).
+func mergeMetric(dst, src *Metric) {
+	dst.Value += src.Value
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if len(dst.Buckets) == len(src.Buckets) {
+		aligned := true
+		for i := range dst.Buckets {
+			//lint:ignore floatcmp bucket bounds are registration-time literals copied verbatim into snapshots; exact identity decides alignment
+			if dst.Buckets[i].UpperBound != src.Buckets[i].UpperBound {
+				aligned = false
+				break
+			}
+		}
+		if aligned {
+			for i := range dst.Buckets {
+				dst.Buckets[i].Count += src.Buckets[i].Count
+			}
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram metric
+// from its cumulative buckets, interpolating linearly within the bucket
+// that contains the target rank — the standard Prometheus-style estimate.
+// The tail (+Inf) bucket reports its lower bound, since no upper bound
+// exists to interpolate toward. Returns NaN for non-histograms and empty
+// histograms.
+func Quantile(m *Metric, q float64) float64 {
+	if len(m.Buckets) == 0 || m.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(m.Count)
+	for i, b := range m.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		lower, lowerCount := 0.0, uint64(0)
+		if i > 0 {
+			lower = m.Buckets[i-1].UpperBound
+			lowerCount = m.Buckets[i-1].Count
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			return lower
+		}
+		width := float64(b.Count - lowerCount)
+		if width == 0 {
+			return b.UpperBound
+		}
+		return lower + (b.UpperBound-lower)*(rank-float64(lowerCount))/width
+	}
+	return m.Buckets[len(m.Buckets)-1].UpperBound
+}
+
+// Find returns the first metric in the snapshot with the given name and
+// labels, or nil. Label order is irrelevant.
+func (s *Snapshot) Find(name string, labels ...Label) *Metric {
+	want := key(name, sortLabels(labels))
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name == name && key(m.Name, m.Labels) == want {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// snap builds a registry snapshot from a few instruments — the merge tests
+// always go through real registries so they exercise the same snapshot
+// shapes MergeSnapshots sees in production.
+func snapWith(fill func(r *Registry)) Snapshot {
+	r := NewRegistry()
+	fill(r)
+	return r.Snapshot()
+}
+
+func TestMergeSnapshotsSumsByIdentity(t *testing.T) {
+	a := snapWith(func(r *Registry) {
+		r.Counter("fdeta_test_total", "", L("shard", "0")).Add(3)
+		r.Gauge("fdeta_test_depth", "").Set(5)
+	})
+	b := snapWith(func(r *Registry) {
+		r.Counter("fdeta_test_total", "", L("shard", "0")).Add(4)
+		r.Counter("fdeta_test_total", "", L("shard", "1")).Add(10)
+		r.Gauge("fdeta_test_depth", "").Set(2)
+	})
+
+	m := MergeSnapshots(a, b)
+	if got := m.Find("fdeta_test_total", L("shard", "0")); got == nil || got.Value != 7 {
+		t.Fatalf("shard 0 counter = %+v, want value 7", got)
+	}
+	if got := m.Find("fdeta_test_total", L("shard", "1")); got == nil || got.Value != 10 {
+		t.Fatalf("shard 1 counter = %+v, want value 10", got)
+	}
+	if got := m.Find("fdeta_test_depth"); got == nil || got.Value != 7 {
+		t.Fatalf("gauge = %+v, want summed value 7", got)
+	}
+
+	// Same name, different type, must not merge into one metric.
+	typed := MergeSnapshots(
+		snapWith(func(r *Registry) { r.Counter("fdeta_test_mixed", "").Inc() }),
+		snapWith(func(r *Registry) { r.Gauge("fdeta_test_mixed", "").Set(1) }),
+	)
+	n := 0
+	for _, met := range typed.Metrics {
+		if met.Name == "fdeta_test_mixed" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("counter and gauge with one name collapsed into %d metrics, want 2", n)
+	}
+}
+
+func TestMergeSnapshotsAlignedHistograms(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	a := snapWith(func(r *Registry) {
+		h := r.Histogram("fdeta_test_seconds", "", bounds)
+		h.Observe(0.5)
+		h.Observe(1.5)
+	})
+	b := snapWith(func(r *Registry) {
+		h := r.Histogram("fdeta_test_seconds", "", bounds)
+		h.Observe(3)
+		h.Observe(3)
+	})
+	m := MergeSnapshots(a, b)
+	got := m.Find("fdeta_test_seconds")
+	if got == nil {
+		t.Fatal("merged histogram missing")
+	}
+	if got.Count != 4 || got.Sum != 8 {
+		t.Errorf("merged count/sum = %d/%g, want 4/8", got.Count, got.Sum)
+	}
+	// Cumulative buckets: ≤1 holds 1, ≤2 holds 2, ≤4 holds 4, +Inf holds 4.
+	want := []uint64{1, 2, 4, 4}
+	if len(got.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got.Buckets), len(want))
+	}
+	for i, w := range want {
+		if got.Buckets[i].Count != w {
+			t.Errorf("bucket %d (≤%g) = %d, want %d", i, got.Buckets[i].UpperBound, got.Buckets[i].Count, w)
+		}
+	}
+}
+
+func TestMergeSnapshotsMismatchedGrids(t *testing.T) {
+	a := snapWith(func(r *Registry) {
+		r.Histogram("fdeta_test_seconds", "", []float64{1, 2}).Observe(0.5)
+	})
+	b := snapWith(func(r *Registry) {
+		r.Histogram("fdeta_test_seconds", "", []float64{10, 20}).Observe(15)
+	})
+	m := MergeSnapshots(a, b)
+	got := m.Find("fdeta_test_seconds")
+	if got == nil {
+		t.Fatal("merged histogram missing")
+	}
+	// Incompatible grids still fold Count and Sum (the scalar aggregates
+	// stay meaningful); the per-bucket shape keeps the first grid.
+	if got.Count != 2 || got.Sum != 15.5 {
+		t.Errorf("merged count/sum = %d/%g, want 2/15.5", got.Count, got.Sum)
+	}
+}
+
+func TestMergeSnapshotsDoesNotAliasInputs(t *testing.T) {
+	a := snapWith(func(r *Registry) {
+		r.Histogram("fdeta_test_seconds", "", []float64{1}).Observe(0.5)
+	})
+	b := snapWith(func(r *Registry) {
+		r.Histogram("fdeta_test_seconds", "", []float64{1}).Observe(0.5)
+	})
+	m := MergeSnapshots(a, b)
+	before := a.Find("fdeta_test_seconds").Buckets[0].Count
+	m.Find("fdeta_test_seconds").Buckets[0].Count = 999
+	if after := a.Find("fdeta_test_seconds").Buckets[0].Count; after != before {
+		t.Error("mutating the merged snapshot changed an input snapshot: buckets are aliased")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	s := snapWith(func(r *Registry) {
+		h := r.Histogram("fdeta_test_seconds", "", []float64{1, 2, 4})
+		for _, v := range []float64{0.5, 1.5, 3, 3} {
+			h.Observe(v)
+		}
+	})
+	m := s.Find("fdeta_test_seconds")
+	if m == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// rank for q=0.5 over 4 obs is 2 → exactly fills the (1,2] bucket →
+	// linear interpolation lands on its upper bound.
+	if got := Quantile(m, 0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p50 = %g, want 2", got)
+	}
+	// q=1 lands in the (2,4] bucket, full → its upper bound.
+	if got := Quantile(m, 1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("p100 = %g, want 4", got)
+	}
+	// Quantiles are monotone in q.
+	if p25, p75 := Quantile(m, 0.25), Quantile(m, 0.75); p25 > p75 {
+		t.Errorf("p25 %g > p75 %g", p25, p75)
+	}
+
+	// A sample beyond the last bound lands in +Inf; the estimate clamps to
+	// the highest finite bound instead of returning infinity.
+	inf := snapWith(func(r *Registry) {
+		h := r.Histogram("fdeta_test_seconds", "", []float64{1})
+		h.Observe(100)
+	})
+	if got := Quantile(inf.Find("fdeta_test_seconds"), 0.99); math.IsInf(got, 1) {
+		t.Error("quantile in the +Inf bucket returned +Inf, want the last finite bound")
+	}
+
+	// Empty histogram and non-histogram metrics have no quantiles.
+	empty := snapWith(func(r *Registry) {
+		r.Histogram("fdeta_test_seconds", "", []float64{1})
+		r.Counter("fdeta_test_total", "").Inc()
+	})
+	if got := Quantile(empty.Find("fdeta_test_seconds"), 0.5); !math.IsNaN(got) {
+		t.Errorf("quantile of empty histogram = %g, want NaN", got)
+	}
+	if got := Quantile(empty.Find("fdeta_test_total"), 0.5); !math.IsNaN(got) {
+		t.Errorf("quantile of a counter = %g, want NaN", got)
+	}
+}
+
+func TestSnapshotFindIgnoresLabelOrder(t *testing.T) {
+	s := snapWith(func(r *Registry) {
+		r.Counter("fdeta_test_total", "", L("a", "1"), L("b", "2")).Inc()
+	})
+	if got := s.Find("fdeta_test_total", L("b", "2"), L("a", "1")); got == nil || got.Value != 1 {
+		t.Fatalf("Find with reordered labels = %+v, want the counter", got)
+	}
+	if got := s.Find("fdeta_test_total", L("a", "1")); got != nil {
+		t.Errorf("Find with a label subset matched %+v, want nil", got)
+	}
+	if got := s.Find("fdeta_test_missing"); got != nil {
+		t.Errorf("Find of unknown metric = %+v, want nil", got)
+	}
+}

@@ -102,6 +102,16 @@ func LatencyBuckets() []float64 {
 		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 }
 
+// FineLatencyBuckets extends LatencyBuckets downward to 1µs for hot-path
+// operations (loopback ingest, in-process stores) whose typical latency
+// sits below the coarse grid's first bound — without the fine tail, every
+// observation lands in one bucket and quantile estimates collapse.
+func FineLatencyBuckets() []float64 {
+	return []float64{0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
 // instrumentKind discriminates registry entries.
 type instrumentKind int
 
