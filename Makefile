@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population collect-smoke fuzz faults-smoke verify
+.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population collect-smoke chaos-smoke fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -65,10 +65,21 @@ bench-population:
 collect-smoke:
 	$(GO) run -race ./cmd/fdeta collect -meters 1000 -shards 4 -batch 48 -concurrency 16 -baseline-meters 100
 
-# fuzz: short fuzz passes over the AMI wire codec and the dataset CSV
-# parser so envelope-validation and parser regressions are caught pre-merge.
+# chaos-smoke: the durability invariant under the race detector — the
+# chaos harness kill -9s a real WAL-backed head-end process mid-load
+# (with connection resets, partial writes, and slow-loris sessions
+# running), restarts it, and fails unless every acked reading is
+# recovered from the WAL.
+chaos-smoke:
+	$(GO) run -race ./cmd/fdeta chaos -meters 12 -rounds 2 -shards 2 -batch 8 -round-len 400ms
+
+# fuzz: short fuzz passes over the AMI wire codec, the WAL replay path,
+# and the dataset CSV parser so envelope-validation, recovery, and parser
+# regressions are caught pre-merge. (The ami package holds two targets, so
+# each needs its own -fuzz run.)
 fuzz:
-	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=5s ./internal/ami
+	$(GO) test -run='^$$' -fuzz=FuzzCodecRecv -fuzztime=5s ./internal/ami
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=5s ./internal/ami
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=5s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzParseDirective -fuzztime=5s ./internal/analysis
 
@@ -80,6 +91,7 @@ faults-smoke:
 # verify: the gate for every PR — build, vet, gofmt drift, the domain
 # linter, the targeted race pass over the obs/ami/experiments concurrency
 # surfaces plus the full-tree race detector, the quick benchmarks, the
-# population-training smoke, the race-enabled ingestion-tier smoke, the
-# fuzz passes, and the fault-injection smoke run.
-verify: build vet fmt-check lint race-hot race bench-quick bench-population collect-smoke fuzz faults-smoke
+# population-training smoke, the race-enabled ingestion-tier and
+# kill-and-recover smokes, the fuzz passes, and the fault-injection smoke
+# run.
+verify: build vet fmt-check lint race-hot race bench-quick bench-population collect-smoke chaos-smoke fuzz faults-smoke

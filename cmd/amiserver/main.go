@@ -33,12 +33,20 @@ type headEnd interface {
 }
 
 // statsLine renders the head-end's ingestion counters for the periodic and
-// final report lines.
+// final report lines, with the durability counters appended when a WAL is
+// configured.
 func statsLine(head headEnd) string {
 	st := head.Stats()
-	return fmt.Sprintf("%d meters, %d readings accepted (%d rejected, %d auth-failed) — conns %d active / %d total, %d limit-rejected, %d idle-timeouts, %d forced closes",
+	line := fmt.Sprintf("%d meters, %d readings accepted (%d rejected, %d auth-failed) — conns %d active / %d total, %d limit-rejected, %d idle-timeouts, %d forced closes",
 		len(head.Meters()), st.Accepted, st.Rejected, st.AuthFailed,
 		st.ActiveConns, st.TotalConns, st.LimitRejected, st.IdleTimeouts, st.ForcedCloses)
+	if d, ok := head.(interface{ WALStats() ami.WALStats }); ok {
+		if w := d.WALStats(); w.Enabled {
+			line += fmt.Sprintf(" — wal %d appended, %d recovered, %d torn tails, %d errors",
+				w.Appended, w.Recovered, w.TornTails, w.Errors)
+		}
+	}
+	return line
 }
 
 func run(args []string, out io.Writer) int {
@@ -51,7 +59,21 @@ func run(args []string, out io.Writer) int {
 	drain := fs.Duration("drain", ami.DefaultDrainTimeout, "shutdown grace before force-closing connections")
 	shards := fs.Int("shards", 0, "shard the readings store N ways with async ingest queues (0 = single synchronous store, -1 = one shard per core)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = no listener)")
+	walDir := fs.String("wal-dir", "", "per-shard write-ahead log directory: readings are logged before ack and replayed on startup (requires -shards; empty = no durability)")
+	walSync := fs.String("wal-sync", "", "WAL sync policy: always (fsync before every ack), interval (background fsync cadence), off (sync on close only); empty = interval")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	walPolicy, err := ami.ParseWALSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amiserver:", err)
+		return 2
+	}
+	if *walDir != "" && *shards == 0 {
+		// The WAL is per-shard, and the shard count is pinned into the log
+		// directory; an implicit per-core default would break recovery the
+		// first time the server moved to different hardware.
+		fmt.Fprintln(os.Stderr, "amiserver: -wal-dir requires -shards (the WAL is per-shard and the count is pinned into the log)")
 		return 2
 	}
 
@@ -66,9 +88,22 @@ func run(args []string, out io.Writer) int {
 		ami.WithIdleTimeout(*idleTimeout),
 		ami.WithDrainTimeout(*drain),
 	}
+	if *walDir != "" {
+		opts = append(opts, ami.WithWAL(*walDir), ami.WithWALSync(walPolicy))
+	}
 	var head headEnd
 	if *shards != 0 {
-		head = ami.NewSharded(*shards, opts...)
+		sharded := ami.NewSharded(*shards, opts...)
+		if *walDir != "" {
+			if err := sharded.WALError(); err != nil {
+				fmt.Fprintln(os.Stderr, "amiserver:", err)
+				return 1
+			}
+			w := sharded.WALStats()
+			fmt.Fprintf(out, "amiserver: wal recovered %d readings from %s (%d torn tails truncated, sync=%s)\n",
+				w.Recovered, *walDir, w.TornTails, walPolicy)
+		}
+		head = sharded
 	} else {
 		head = ami.New(opts...)
 	}

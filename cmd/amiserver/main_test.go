@@ -227,3 +227,113 @@ func TestAmiserverBadFlags(t *testing.T) {
 		t.Error("bad address should exit 1")
 	}
 }
+
+// waitForAddr polls the capture buffer until the listening banner appears.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.After(5 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("server never reported its address: %q", out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// The durability regression for this PR: a reading acked just before
+// SIGTERM must survive into the next server run. The first run's shutdown
+// has to drain the session, flush the shard queues, and sync the WAL in
+// that order; the second run replays the log and reports the reading
+// recovered.
+func TestAmiserverWALAckedReadingSurvivesSIGTERMRestart(t *testing.T) {
+	walDir := t.TempDir()
+	serve := func() *syncBuffer {
+		var out syncBuffer
+		done := make(chan int, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2",
+				"-wal-dir", walDir, "-wal-sync", "interval", "-stats", "1h"}, &out)
+		}()
+		addr := waitForAddr(t, &out)
+
+		c, err := ami.Dial(addr, "m1", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Send returns only after the head-end's ack — from here on the
+		// reading is covered by the durability contract.
+		if err := c.Send(meter.Reading{MeterID: "m1", Slot: 7, KW: 3.25}); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Close()
+
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("server exited %d: %s", code, out.String())
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server did not exit after SIGTERM: %q", out.String())
+		}
+		return &out
+	}
+
+	first := serve()
+	if !strings.Contains(first.String(), "wal recovered 0 readings") {
+		t.Fatalf("first run should start from an empty log: %q", first.String())
+	}
+	if !strings.Contains(first.String(), "wal 1 appended") {
+		t.Fatalf("final stats missing the WAL append: %q", first.String())
+	}
+
+	second := serve()
+	if !strings.Contains(second.String(), "wal recovered 1 readings") {
+		t.Fatalf("acked reading did not survive the restart: %q", second.String())
+	}
+}
+
+// -wal-dir without -shards must refuse at flag time, and a bad sync
+// policy must never reach the listener.
+func TestAmiserverWALFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-wal-dir", t.TempDir()}, &out); code != 2 {
+		t.Errorf("-wal-dir without -shards exited %d, want 2", code)
+	}
+	if code := run([]string{"-shards", "2", "-wal-dir", t.TempDir(), "-wal-sync", "sometimes"}, &out); code != 2 {
+		t.Errorf("bad -wal-sync exited %d, want 2", code)
+	}
+}
+
+// Reopening a WAL directory with a different shard count must refuse to
+// serve rather than misroute replayed readings.
+func TestAmiserverWALShardCountMismatchRefuses(t *testing.T) {
+	walDir := t.TempDir()
+	var out syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2",
+			"-wal-dir", walDir, "-duration", "100ms", "-stats", "1h"}, &out)
+	}()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("first run exited %d: %s", code, out.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first run did not exit")
+	}
+
+	var out2 bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:0", "-shards", "4",
+		"-wal-dir", walDir, "-duration", "100ms"}, &out2); code != 1 {
+		t.Fatalf("shard-count mismatch exited %d, want 1", code)
+	}
+}

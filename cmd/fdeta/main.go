@@ -25,6 +25,7 @@
 //	spread        multi-victim theft spreading
 //	bill          statements + revenue assurance
 //	collect       concurrent TCP collection harness over the AMI head-end
+//	chaos         kill -9/restart durability harness for the WAL-backed head-end
 //	bench         benchmark trajectory recorder (BENCH_<date>.json)
 //
 // Run `fdeta <subcommand> -h` for per-command flags.
@@ -93,6 +94,8 @@ func run(args []string) int {
 		err = cmdSimulate(rest)
 	case "collect":
 		err = cmdCollect(rest)
+	case "chaos":
+		err = cmdChaos(rest)
 	case "bench":
 		err = cmdBench(rest)
 	case "help", "-h", "--help":
@@ -124,6 +127,8 @@ Operations:
   investigate   balance checks, alarms, and localization on a feeder
   simulate      scripted multi-week feeder simulation with scored detection
   collect       concurrent TCP collection harness over the AMI head-end
+  chaos         kill -9/restart durability harness: proves acked readings
+                survive crashes of the WAL-backed sharded head-end
 
 Paper artifacts:
   table1        Table I  — attack-class feasibility (verified by construction)

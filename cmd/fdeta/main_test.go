@@ -7,6 +7,45 @@ import (
 	"testing"
 )
 
+// TestMain lets the chaos harness re-exec this test binary as its server
+// child: cmdChaos spawns os.Executable() with ["chaos", "-serve", ...], and
+// when invoked that way the binary must behave as the fdeta CLI rather than
+// run the test suite.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		os.Exit(run(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
+
+// TestRunChaosInvariant is the automated form of the durability claim: the
+// chaos harness kill -9s a real WAL-backed head-end process mid-load twice
+// and exits non-zero if any acknowledged reading is missing after recovery.
+func TestRunChaosInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns and SIGKILLs server processes")
+	}
+	walDir := t.TempDir()
+	args := []string{"chaos",
+		"-meters", "8", "-rounds", "2", "-shards", "2", "-batch", "4",
+		"-round-len", "400ms", "-wal-dir", walDir, "-wal-sync", "interval"}
+	if got := run(args); got != 0 {
+		t.Fatalf("chaos exited %d; the durability invariant did not hold", got)
+	}
+}
+
+func TestRunChaosFlagValidation(t *testing.T) {
+	if got := run([]string{"chaos", "-wal-sync", "sometimes"}); got != 1 {
+		t.Errorf("bad -wal-sync exited %d, want 1", got)
+	}
+	if got := run([]string{"chaos", "-meters", "0"}); got != 1 {
+		t.Errorf("-meters 0 exited %d, want 1", got)
+	}
+	if got := run([]string{"chaos", "-serve"}); got != 1 {
+		t.Errorf("-serve without -wal-dir exited %d, want 1", got)
+	}
+}
+
 func TestRunDispatcher(t *testing.T) {
 	cases := []struct {
 		name string

@@ -30,6 +30,10 @@ const (
 	CodeIdleTimeout = "idle_timeout"
 	// CodeShuttingDown: the head-end is draining for shutdown. Transient.
 	CodeShuttingDown = "shutting_down"
+	// CodeStorage: the head-end could not make the reading durable (WAL
+	// append or sync failed) and did NOT store it. Transient — the reading
+	// was not acknowledged, so the meter should retry it.
+	CodeStorage = "storage"
 )
 
 // Sentinel errors for errors.Is classification of protocol failures.
@@ -60,7 +64,7 @@ var (
 // as permanent, matching the historical give-up-immediately behaviour.
 func codeIsPermanent(code string) bool {
 	switch code {
-	case CodeBusy, CodeIdleTimeout, CodeShuttingDown:
+	case CodeBusy, CodeIdleTimeout, CodeShuttingDown, CodeStorage:
 		return false
 	}
 	return true

@@ -39,6 +39,15 @@ func FuzzCodecRecv(f *testing.F) {
 	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[{"slot":0,"kw":-1e999}]}}` + "\n")
 	f.Add(`{"type":"hello","hello":{"meter_id":"` + strings.Repeat("A", 200) + `"}}` + "\n")
 	f.Add(strings.Repeat("x", 300))
+	// More wire-v2 batch shapes: an authenticated (whole-frame MAC) batch,
+	// a mid-session re-hello pair, a future-version downgrade hello, and a
+	// batch whose length disagrees with its contents.
+	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[{"slot":0,"kw":1}],"mac":"deadbeef"}}` + "\n")
+	f.Add(`{"type":"hello","hello":{"meter_id":"m1","ver":2,"max_batch":16}}` + "\n" +
+		`{"type":"hello","hello":{"meter_id":"m2","ver":2,"max_batch":16}}` + "\n")
+	f.Add(`{"type":"hello","hello":{"meter_id":"m1","ver":3,"max_batch":1024}}` + "\n")
+	f.Add(`{"type":"batch","batch":{"meter_id":"m1","readings":[{"slot":9007199254740993,"kw":0.1}]}}` + "\n")
+	f.Add(`{"type":"batch_ack","batch_ack":{"count":0,"last_slot":-1}}` + "\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		// A tightly bounded codec must never panic either, and when it

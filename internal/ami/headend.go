@@ -46,6 +46,25 @@ type HeadEndConfig struct {
 	// head-ends only; 0 = DefaultShardQueueDepth). A full queue delays
 	// that shard's acks — backpressure instead of unbounded buffering.
 	QueueDepth int
+
+	// WALDir enables the per-shard write-ahead log (sharded head-ends
+	// only): every reading is appended to a segmented CRC32-framed log
+	// before it is acknowledged, and NewSharded replays the log on startup.
+	// Empty (the default) disables durability entirely — behavior is
+	// identical to a WAL-less head-end.
+	WALDir string
+	// WALSync selects when appends reach stable storage
+	// ("" = DefaultWALSync). See WALSyncPolicy.
+	WALSync WALSyncPolicy
+	// WALSyncInterval is the background fsync cadence under
+	// WALSyncInterval policy (0 = DefaultWALSyncInterval).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes rotates the active segment past this size
+	// (0 = DefaultWALSegmentBytes).
+	WALSegmentBytes int64
+	// WALCompactBytes triggers snapshot+truncate compaction once a shard's
+	// sealed segments exceed this size (0 = DefaultWALCompactBytes).
+	WALCompactBytes int64
 }
 
 func (c *HeadEndConfig) applyDefaults() {
@@ -245,7 +264,8 @@ func (h *HeadEnd) untrack(conn net.Conn, session bool) {
 }
 
 // storeReading stores one accepted reading synchronously (ingestStore).
-func (h *HeadEnd) storeReading(r *ReadingMsg) {
+// The in-memory map cannot fail, so the error is always nil.
+func (h *HeadEnd) storeReading(r *ReadingMsg) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	m, ok := h.readings[r.MeterID]
@@ -255,10 +275,11 @@ func (h *HeadEnd) storeReading(r *ReadingMsg) {
 	}
 	m[timeseries.Slot(r.Slot)] = r.KW
 	h.met.accepted.Inc()
+	return nil
 }
 
 // storeBatch stores an accepted batch under one lock hold (ingestStore).
-func (h *HeadEnd) storeBatch(b *BatchMsg) {
+func (h *HeadEnd) storeBatch(b *BatchMsg) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	m, ok := h.readings[b.MeterID]
@@ -270,6 +291,7 @@ func (h *HeadEnd) storeBatch(b *BatchMsg) {
 		m[timeseries.Slot(r.Slot)] = r.KW
 	}
 	h.met.accepted.Add(int64(len(b.Readings)))
+	return nil
 }
 
 // Close stops the listener and drains active sessions: handlers get

@@ -27,6 +27,14 @@ const (
 	metricBatchSize       = "fdeta_ami_batch_readings"
 	metricShardStored     = "fdeta_ami_shard_readings_total"
 	metricShardQueueDepth = "fdeta_ami_shard_queue_depth"
+
+	// The durability layer's instruments, registered per shard (with a
+	// shard label) by ShardedHeadEnd when a WAL directory is configured.
+	metricWALAppended  = "fdeta_ami_wal_appended_total"
+	metricWALSync      = "fdeta_ami_wal_sync_seconds"
+	metricWALRecovered = "fdeta_ami_wal_recovered_total"
+	metricWALTornTail  = "fdeta_ami_wal_torn_tail_total"
+	metricWALErrors    = "fdeta_ami_wal_errors_total"
 )
 
 // batchSizeBuckets are the upper bounds for the readings-per-batch-frame

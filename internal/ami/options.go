@@ -39,6 +39,37 @@ func WithKeyring(kr *Keyring) Option {
 	return func(h *HeadEnd) { h.keyring = kr }
 }
 
+// WithWAL enables the per-shard write-ahead log rooted at dir (sharded
+// head-ends only; ignored by a plain HeadEnd). Every reading is appended
+// to its shard's log before it is acknowledged, and NewSharded replays
+// the log into the store on startup. An empty dir disables durability.
+func WithWAL(dir string) Option {
+	return func(h *HeadEnd) { h.cfg.WALDir = dir }
+}
+
+// WithWALSync selects the WAL sync policy ("" = DefaultWALSync).
+func WithWALSync(p WALSyncPolicy) Option {
+	return func(h *HeadEnd) { h.cfg.WALSync = p }
+}
+
+// WithWALSyncInterval sets the background fsync cadence under the
+// interval policy (0 = DefaultWALSyncInterval).
+func WithWALSyncInterval(d time.Duration) Option {
+	return func(h *HeadEnd) { h.cfg.WALSyncInterval = d }
+}
+
+// WithWALSegmentBytes sets the segment rotation threshold
+// (0 = DefaultWALSegmentBytes). Tests shrink it to force rotation.
+func WithWALSegmentBytes(n int64) Option {
+	return func(h *HeadEnd) { h.cfg.WALSegmentBytes = n }
+}
+
+// WithWALCompactBytes sets the sealed-bytes threshold that triggers
+// snapshot+truncate compaction (0 = DefaultWALCompactBytes).
+func WithWALCompactBytes(n int64) Option {
+	return func(h *HeadEnd) { h.cfg.WALCompactBytes = n }
+}
+
 // WithMetrics registers the head-end's instruments on reg instead of a
 // private registry, so an admin endpoint (obs.ServeAdmin) can export them.
 func WithMetrics(reg *obs.Registry) Option {

@@ -1,6 +1,8 @@
 package ami
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -249,5 +251,108 @@ func TestReliableClientSendAll(t *testing.T) {
 	}
 	if head.Count("m1") != 5 {
 		t.Errorf("Count = %d", head.Count("m1"))
+	}
+}
+
+// The documented backoff contract: attempt n waits base*2^(n-1), capped at
+// maxRetryBackoff, jittered uniformly over [d/2, 3d/2).
+func TestRetryDelayJitterStaysInBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	for attempt := 1; attempt <= 12; attempt++ {
+		want := base
+		for i := 1; i < attempt && want < maxRetryBackoff; i++ {
+			want *= 2
+		}
+		if want > maxRetryBackoff {
+			want = maxRetryBackoff
+		}
+		for trial := 0; trial < 200; trial++ {
+			got := retryDelay(base, attempt)
+			if got < want/2 || got >= want+want/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, want/2, want+want/2)
+			}
+		}
+	}
+}
+
+// Deep retry schedules must flatten at the cap: even attempt 60 (which
+// would overflow a naive base<<59) stays within the 30s cap's jitter band.
+func TestRetryDelayRespectsCap(t *testing.T) {
+	for _, attempt := range []int{20, 60} {
+		for trial := 0; trial < 100; trial++ {
+			got := retryDelay(time.Second, attempt)
+			if got < maxRetryBackoff/2 || got >= maxRetryBackoff+maxRetryBackoff/2 {
+				t.Fatalf("attempt %d: delay %v outside the capped band [%v, %v)",
+					attempt, got, maxRetryBackoff/2, maxRetryBackoff+maxRetryBackoff/2)
+			}
+		}
+	}
+}
+
+// A zero or negative base disables the pause entirely (the test fast path).
+func TestRetryDelayZeroBase(t *testing.T) {
+	for _, base := range []time.Duration{0, -time.Second} {
+		if got := retryDelay(base, 5); got != 0 {
+			t.Fatalf("retryDelay(%v, 5) = %v, want 0", base, got)
+		}
+	}
+}
+
+// Cancelling the context mid-backoff must abort the send immediately, not
+// after the backoff timer expires.
+func TestSendContextAbortsMidBackoff(t *testing.T) {
+	// No listener at this address: every attempt fails at dial, so the
+	// client sits in its inter-attempt backoff almost immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	// A 20s base would hold the second attempt for >=10s without the
+	// cancellation path; the deadline below is far tighter.
+	rc, err := NewReliableClient(addr, "m1", nil, 200*time.Millisecond, 5, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	sendErr := rc.SendContext(ctx, meter.Reading{MeterID: "m1", Slot: 0, KW: 1})
+	elapsed := time.Since(start)
+	if sendErr == nil {
+		t.Fatal("send succeeded against a dead address")
+	}
+	if !errors.Is(sendErr, context.Canceled) {
+		t.Fatalf("send error = %v, want context.Canceled in the chain", sendErr)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("send took %v to abort; cancellation must interrupt the backoff sleep", elapsed)
+	}
+
+	// The batch path shares the loop and must abort the same way.
+	rb, err := NewReliableBatchClient(addr, "m1", nil, 200*time.Millisecond, 5, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rb.Close() }()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel2()
+	}()
+	start = time.Now()
+	sendErr = rb.SendAllContext(ctx2, []meter.Reading{{MeterID: "m1", Slot: 0, KW: 1}})
+	if sendErr == nil || !errors.Is(sendErr, context.Canceled) {
+		t.Fatalf("batch send error = %v, want context.Canceled", sendErr)
+	}
+	if elapsed = time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("batch send took %v to abort", elapsed)
 	}
 }

@@ -13,9 +13,12 @@ import (
 // with a synchronous mutex-guarded map write; ShardedHeadEnd routes each
 // store to the owning shard's async ingest queue so the session goroutine
 // never blocks on the readings map.
+// A store error means the reading could NOT be made durable: the session
+// answers with a transient CodeStorage rejection (never an ack) so the
+// meter retries.
 type ingestStore interface {
-	storeReading(r *ReadingMsg)
-	storeBatch(b *BatchMsg)
+	storeReading(r *ReadingMsg) error
+	storeBatch(b *BatchMsg) error
 }
 
 // sessionEnv bundles everything a per-connection session handler needs.
@@ -160,7 +163,12 @@ func (e *sessionEnv) serve(conn net.Conn) {
 					return
 				}
 			}
-			e.store.storeReading(env.Reading)
+			if err := e.store.storeReading(env.Reading); err != nil {
+				e.met.rejected.Inc()
+				e.log.Error("reading could not be made durable", "meter", meterID, "err", err)
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeStorage, Error: err.Error()})
+				return
+			}
 			// Ingest latency covers receipt through storage, observed on
 			// exactly the accepted path: rejected readings never reach it,
 			// and a failed or stalled ack write cannot pollute the
@@ -197,7 +205,12 @@ func (e *sessionEnv) serve(conn net.Conn) {
 					return
 				}
 			}
-			e.store.storeBatch(env.Batch)
+			if err := e.store.storeBatch(env.Batch); err != nil {
+				e.met.rejected.Inc()
+				e.log.Error("batch could not be made durable", "meter", meterID, "err", err)
+				_ = codec.Send(&Envelope{Type: TypeError, Code: CodeStorage, Error: err.Error()})
+				return
+			}
 			e.met.batchFrames.Inc()
 			e.met.batchSize.Observe(float64(len(env.Batch.Readings)))
 			e.met.ingestLatency.Observe(time.Since(start).Seconds())

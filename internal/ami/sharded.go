@@ -1,9 +1,11 @@
 package ami
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -21,11 +23,24 @@ import (
 const DefaultShardQueueDepth = 4096
 
 // ingestJob is one unit of work on a shard's queue: a batch of readings
-// for a single meter, or a flush sentinel.
+// for a single meter, a flush sentinel, a WAL compaction request, or the
+// shutdown sentinel.
 type ingestJob struct {
 	meterID  string
 	readings []BatchReading
 	flush    chan struct{} // non-nil: close it once the queue ahead is drained
+
+	// compact: snapshot the shard store and truncate WAL segments up to
+	// compactCover. Runs on the worker so the snapshot is taken after every
+	// job queued ahead of it (i.e. every record the covered segments hold)
+	// has reached the store.
+	compact      bool
+	compactCover uint64
+
+	// shutdown ends the worker once every job queued ahead of it has been
+	// applied. A sentinel instead of close(queue) so the worker itself may
+	// re-enqueue compaction follow-ups without racing a channel close.
+	shutdown bool
 }
 
 // ingestShard owns one partition of the readings store: a private map, a
@@ -39,16 +54,47 @@ type ingestShard struct {
 	queue  chan ingestJob
 	stored *obs.Counter // fdeta_ami_shard_readings_total{shard=i}
 	depth  *obs.Gauge   // fdeta_ami_shard_queue_depth{shard=i}
+
+	// wal, when non-nil, is this shard's write-ahead log: storeReading /
+	// storeBatch append to it before enqueueing (and before the session
+	// acks), and the worker services its compaction requests.
+	wal *shardWAL
 }
 
-// run drains the shard's queue into its readings map until the queue is
-// closed. It is the only writer of the shard's map, so session goroutines
-// never block on storage — the async decouple between decode and store.
-func (s *ingestShard) run() {
+// run drains the shard's queue into its readings map until the shutdown
+// sentinel arrives. It is the only writer of the shard's map, so session
+// goroutines never block on storage — the async decouple between decode
+// and store.
+func (s *ingestShard) run(log *slog.Logger) {
 	for job := range s.queue {
+		if job.shutdown {
+			// Abandon any compaction follow-up that landed behind the
+			// sentinel, keeping the depth gauge honest.
+			for {
+				select {
+				case <-s.queue:
+					s.depth.Add(-1)
+				default:
+					return
+				}
+			}
+		}
 		s.depth.Add(-1)
 		if job.flush != nil {
 			close(job.flush)
+			continue
+		}
+		if job.compact {
+			// Compaction failure is not fatal: the covered segments stay on
+			// disk and recovery still works, the log is just bigger.
+			if err := s.wal.Compact(job.compactCover, s.snapshot); err != nil {
+				log.Error("wal compaction failed", "err", err)
+			}
+			// A burst can seal segments faster than one compaction covers
+			// them; keep compacting until the sealed set is back under the
+			// threshold. The follow-up job goes to the queue tail, so every
+			// record it covers is applied before the next snapshot.
+			s.wal.RetriggerCompact(job.compactCover, s.tryEnqueueCompact)
 			continue
 		}
 		s.mu.Lock()
@@ -63,6 +109,61 @@ func (s *ingestShard) run() {
 		s.mu.Unlock()
 		s.stored.Add(int64(len(job.readings)))
 	}
+}
+
+// snapshot streams the shard store through write in WAL-record-sized
+// chunks, for compaction. Runs on the worker goroutine (the store's only
+// writer) under the shard lock, so it sees a consistent store that — by
+// queue ordering — contains every reading the covered segments hold.
+func (s *ingestShard) snapshot(write func(meterID string, rs []BatchReading) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunk := make([]BatchReading, 0, walSnapshotChunk)
+	for meterID, m := range s.readings {
+		chunk = chunk[:0]
+		for slot, kw := range m {
+			chunk = append(chunk, BatchReading{Slot: int64(slot), KW: kw})
+			if len(chunk) == walSnapshotChunk {
+				if err := write(meterID, chunk); err != nil {
+					return err
+				}
+				chunk = chunk[:0]
+			}
+		}
+		if len(chunk) > 0 {
+			if err := write(meterID, chunk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// enqueueCompact queues a compaction request behind everything already on
+// the shard queue. Called by the WAL under its append lock.
+func (s *ingestShard) enqueueCompact(coverSeq uint64) {
+	s.depth.Add(1)
+	s.queue <- ingestJob{compact: true, compactCover: coverSeq}
+}
+
+// tryEnqueueCompact is enqueueCompact for the worker goroutine itself: a
+// blocking send from the queue's only consumer would deadlock when the
+// queue is full, so a follow-up compaction is dropped instead (the next
+// segment rotation re-arms it).
+func (s *ingestShard) tryEnqueueCompact(coverSeq uint64) bool {
+	select {
+	case s.queue <- ingestJob{compact: true, compactCover: coverSeq}:
+		s.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue queues one meter's readings for the worker.
+func (s *ingestShard) enqueue(meterID string, rs []BatchReading) {
+	s.depth.Add(1)
+	s.queue <- ingestJob{meterID: meterID, readings: rs}
 }
 
 // shardIndex hash-partitions a meter ID over n shards (FNV-1a).
@@ -99,7 +200,12 @@ type ShardedHeadEnd struct {
 
 	done     chan struct{}
 	wg       sync.WaitGroup // accept loop + sessions
-	workerWG sync.WaitGroup // shard queue workers
+	workerWG sync.WaitGroup // shard queue workers + WAL background syncer
+
+	// WAL state (zero-valued when cfg.WALDir is empty).
+	walCfg  walConfig
+	walStop chan struct{} // stops the background syncer
+	walErr  error         // recovery failure; Listen refuses while set
 }
 
 // NewSharded creates an idle sharded head-end with the given shard count
@@ -138,13 +244,137 @@ func NewSharded(shards int, opts ...Option) *ShardedHeadEnd {
 				"jobs waiting on this shard's ingest queue", label),
 		}
 		sh.shards = append(sh.shards, s)
+	}
+
+	// Open and replay the WAL before any worker or session can write:
+	// recovery is single-goroutine, so the apply closure fills the shard
+	// maps directly. A recovery failure parks the head-end — Listen refuses
+	// with the error — rather than silently running without durability.
+	if sh.cfg.WALDir != "" {
+		sh.walCfg = walConfig{
+			sync:         sh.cfg.WALSync,
+			syncInterval: sh.cfg.WALSyncInterval,
+			segmentBytes: sh.cfg.WALSegmentBytes,
+			compactBytes: sh.cfg.WALCompactBytes,
+		}
+		sh.walCfg.applyDefaults()
+		sh.walStop = make(chan struct{})
+		sh.walErr = sh.openWALs()
+	}
+
+	for _, s := range sh.shards {
+		s := s
 		sh.workerWG.Add(1)
 		go func() {
 			defer sh.workerWG.Done()
-			s.run()
+			s.run(sh.log)
+		}()
+	}
+	if sh.walErr == nil && sh.cfg.WALDir != "" && sh.walCfg.sync == WALSyncInterval {
+		sh.workerWG.Add(1)
+		go func() {
+			defer sh.workerWG.Done()
+			sh.runWALSyncer()
 		}()
 	}
 	return sh
+}
+
+// openWALs opens one log per shard under cfg.WALDir, replaying each into
+// its shard's store.
+func (sh *ShardedHeadEnd) openWALs() error {
+	if err := checkWALMeta(sh.cfg.WALDir, len(sh.shards)); err != nil {
+		return err
+	}
+	for i, s := range sh.shards {
+		s := s
+		label := obs.L("shard", strconv.Itoa(i))
+		reg := sh.met.reg
+		ins := walInstruments{
+			appended: reg.Counter(metricWALAppended,
+				"records appended to this shard's write-ahead log", label),
+			syncTime: reg.Histogram(metricWALSync,
+				"time spent fsyncing this shard's write-ahead log", obs.FineLatencyBuckets(), label),
+			recovered: reg.Counter(metricWALRecovered,
+				"readings replayed from this shard's log at startup", label),
+			tornTails: reg.Counter(metricWALTornTail,
+				"torn tails truncated during this shard's recovery", label),
+			errors: reg.Counter(metricWALErrors,
+				"failed WAL appends, syncs, and compactions on this shard", label),
+		}
+		dir := filepath.Join(sh.cfg.WALDir, fmt.Sprintf("shard-%03d", i))
+		wal, err := openShardWAL(dir, sh.walCfg, ins, sh.log,
+			func(meterID string, rs []BatchReading) {
+				m, ok := s.readings[meterID]
+				if !ok {
+					m = make(map[timeseries.Slot]float64, len(rs))
+					s.readings[meterID] = m
+				}
+				for _, r := range rs {
+					m[timeseries.Slot(r.Slot)] = r.KW
+				}
+			})
+		if err != nil {
+			return err
+		}
+		s.wal = wal
+	}
+	return nil
+}
+
+// runWALSyncer fsyncs every dirty shard log on the configured cadence
+// (WALSyncInterval policy) until Close stops it.
+func (sh *ShardedHeadEnd) runWALSyncer() {
+	ticker := time.NewTicker(sh.walCfg.syncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sh.walStop:
+			return
+		case <-ticker.C:
+			for _, s := range sh.shards {
+				if err := s.wal.SyncIfDirty(); err != nil {
+					sh.log.Error("wal background sync failed", "err", err)
+				}
+			}
+		}
+	}
+}
+
+// WALError reports whether WAL recovery failed at construction. A durable
+// head-end with a recovery error refuses to Listen.
+func (sh *ShardedHeadEnd) WALError() error { return sh.walErr }
+
+// WALStats is a summed-across-shards snapshot of the durability layer's
+// counters.
+type WALStats struct {
+	Enabled   bool  // a WAL directory is configured
+	Appended  int64 // records appended since start
+	Recovered int64 // readings replayed from the log at startup
+	TornTails int64 // torn tails truncated during recovery
+	Errors    int64 // failed appends, syncs, and compactions
+}
+
+// WALStats snapshots the durability counters across all shards: the
+// instruments are registered per shard (labeled shard=i), and
+// obs.Snapshot.Total folds each family into the fleet-wide figure.
+func (sh *ShardedHeadEnd) WALStats() WALStats {
+	st := WALStats{}
+	for _, s := range sh.shards {
+		if s.wal != nil {
+			st.Enabled = true
+			break
+		}
+	}
+	if !st.Enabled {
+		return st
+	}
+	snap := sh.met.reg.Snapshot()
+	st.Appended = int64(snap.Total(metricWALAppended))
+	st.Recovered = int64(snap.Total(metricWALRecovered))
+	st.TornTails = int64(snap.Total(metricWALTornTail))
+	st.Errors = int64(snap.Total(metricWALErrors))
+	return st
 }
 
 // Shards returns the shard count.
@@ -161,23 +391,40 @@ func (sh *ShardedHeadEnd) shardFor(meterID string) *ingestShard {
 }
 
 // storeReading enqueues one accepted reading on its shard (ingestStore).
-// The accepted counter is bumped at enqueue: once acknowledged, a reading
-// is the queue's responsibility and cannot be rejected.
-func (sh *ShardedHeadEnd) storeReading(r *ReadingMsg) {
+// With a WAL, the reading is appended to the shard's log first — an append
+// failure means nothing was enqueued and the session must not ack. The
+// accepted counter is bumped at enqueue: once acknowledged, a reading is
+// the queue's responsibility and cannot be rejected.
+func (sh *ShardedHeadEnd) storeReading(r *ReadingMsg) error {
 	s := sh.shardFor(r.MeterID)
-	s.depth.Add(1)
-	s.queue <- ingestJob{meterID: r.MeterID, readings: []BatchReading{{Slot: r.Slot, KW: r.KW}}}
+	rs := []BatchReading{{Slot: r.Slot, KW: r.KW}}
+	if s.wal != nil {
+		if err := s.wal.Append(r.MeterID, rs,
+			func() { s.enqueue(r.MeterID, rs) }, s.enqueueCompact); err != nil {
+			return err
+		}
+	} else {
+		s.enqueue(r.MeterID, rs)
+	}
 	sh.met.accepted.Inc()
+	return nil
 }
 
 // storeBatch enqueues an accepted batch frame on its shard (ingestStore).
 // The readings slice is owned by the decoded envelope and transfers to the
 // shard without copying.
-func (sh *ShardedHeadEnd) storeBatch(b *BatchMsg) {
+func (sh *ShardedHeadEnd) storeBatch(b *BatchMsg) error {
 	s := sh.shardFor(b.MeterID)
-	s.depth.Add(1)
-	s.queue <- ingestJob{meterID: b.MeterID, readings: b.Readings}
+	if s.wal != nil {
+		if err := s.wal.Append(b.MeterID, b.Readings,
+			func() { s.enqueue(b.MeterID, b.Readings) }, s.enqueueCompact); err != nil {
+			return err
+		}
+	} else {
+		s.enqueue(b.MeterID, b.Readings)
+	}
 	sh.met.accepted.Add(int64(len(b.Readings)))
+	return nil
 }
 
 // Flush blocks until every reading enqueued before the call has reached
@@ -206,6 +453,11 @@ func (sh *ShardedHeadEnd) Flush() {
 // Listen starts accepting connections and returns the bound address. A
 // head-end listens at most once; a second Listen returns ErrListening.
 func (sh *ShardedHeadEnd) Listen(addr string) (string, error) {
+	if sh.walErr != nil {
+		// Accepting (and acking) readings after a failed recovery would
+		// break the durability contract; park until the operator intervenes.
+		return "", fmt.Errorf("ami: sharded head-end: wal recovery failed: %w", sh.walErr)
+	}
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
@@ -344,14 +596,27 @@ func (sh *ShardedHeadEnd) Close() error {
 		<-drained
 	}
 	// Sessions are gone; nothing can enqueue anymore (Flush holds the
-	// mutex while enqueueing and bows out once closed is set). Drain the
-	// queues so every acknowledged reading is durably in its shard store.
+	// mutex while enqueueing and bows out once closed is set). Shut the
+	// workers down via the queue itself so every acknowledged reading is
+	// durably in its shard store first, stop the background syncer, then
+	// sync and close each shard's log — strictly after the workers, so a
+	// queued compaction never races the final close. A compaction follow-up
+	// the worker queues behind the sentinel is deliberately abandoned:
+	// compaction is an optimization, shutdown is not the time for it.
 	sh.mu.Lock()
 	for _, s := range sh.shards {
-		close(s.queue)
+		s.queue <- ingestJob{shutdown: true}
 	}
 	sh.mu.Unlock()
+	if sh.walStop != nil {
+		close(sh.walStop)
+	}
 	sh.workerWG.Wait()
+	for _, s := range sh.shards {
+		if s.wal != nil {
+			err = errors.Join(err, s.wal.Close())
+		}
+	}
 	return err
 }
 

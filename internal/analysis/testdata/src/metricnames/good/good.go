@@ -20,6 +20,14 @@ const (
 	metricShardStored = "fdeta_good_shard_readings_total"
 	metricShardDepth  = "fdeta_good_shard_queue_depth"
 	metricBatchSize   = "fdeta_good_batch_readings"
+	// The durability shapes: per-shard WAL counters plus a sync-latency
+	// histogram, mirroring the fdeta_ami_wal_* instruments the WAL-backed
+	// head-end registers.
+	metricWALAppended = "fdeta_good_wal_appended_total"
+	metricWALRecover  = "fdeta_good_wal_recovered_total"
+	metricWALTorn     = "fdeta_good_wal_torn_tail_total"
+	metricWALSync     = "fdeta_good_wal_sync_seconds"
+	metricWALSegments = "fdeta_good_wal_segment_bytes"
 )
 
 // Register registers a labelled counter family and a histogram.
@@ -44,4 +52,17 @@ func RegisterShards(reg *obs.Registry, shards []string) {
 		reg.Gauge(metricShardDepth, "ingest queue depth per shard", obs.L("shard", s))
 	}
 	reg.Histogram(metricBatchSize, "readings per batch frame", []float64{1, 2, 4, 8})
+}
+
+// RegisterWAL registers the WAL-shaped instruments: per-shard durability
+// counters, the fsync latency distribution, and a suffix-conformant bytes
+// gauge.
+func RegisterWAL(reg *obs.Registry, shards []string) {
+	for _, s := range shards {
+		reg.Counter(metricWALAppended, "records appended per shard", obs.L("shard", s))
+		reg.Counter(metricWALRecover, "readings recovered per shard", obs.L("shard", s))
+		reg.Counter(metricWALTorn, "torn tails truncated per shard", obs.L("shard", s))
+		reg.Gauge(metricWALSegments, "live segment bytes per shard", obs.L("shard", s))
+	}
+	reg.Histogram(metricWALSync, "fsync latency", obs.LatencyBuckets())
 }

@@ -1,9 +1,11 @@
 // Package bad seeds wire-boundary error violations for the golden test:
-// chain-flattening formatting and stringly error matching.
+// chain-flattening formatting, stringly error matching, and discarded
+// fsync errors.
 package bad
 
 import (
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -20,4 +22,18 @@ func IsBusy(err error) bool {
 // IsExact compares the message.
 func IsExact(err error) bool {
 	return err.Error() == "rejected" // want "compares message text"
+}
+
+// DropSync discards the fsync error three ways: bare statement, blank
+// assignment, and defer.
+func DropSync(f *os.File) {
+	f.Sync()       // want "Sync ignored"
+	_ = f.Sync()   // want "assigned to _"
+	defer f.Sync() // want "Sync ignored"
+	go func() { _ = f.Close() }()
+}
+
+// DropSyncInGoroutine loses the error on a concurrent flush path.
+func DropSyncInGoroutine(f *os.File) {
+	go f.Sync() // want "Sync ignored"
 }

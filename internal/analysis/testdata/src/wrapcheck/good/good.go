@@ -1,10 +1,11 @@
-// Package good is the fixed form of the wrapcheck fixture: %w wrapping and
-// sentinel classification.
+// Package good is the fixed form of the wrapcheck fixture: %w wrapping,
+// sentinel classification, and handled fsync errors.
 package good
 
 import (
 	"errors"
 	"fmt"
+	"os"
 )
 
 // ErrBusy is the typed sentinel callers branch on.
@@ -18,4 +19,20 @@ func Wrap(err error) error {
 // IsBusy classifies by sentinel, not message text.
 func IsBusy(err error) bool {
 	return errors.Is(err, ErrBusy)
+}
+
+// Durable propagates the fsync error so the caller can refuse the ack.
+func Durable(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal sync: %w", err)
+	}
+	return nil
+}
+
+// Checked handles the error even when only logged-and-counted.
+func Checked(f *os.File) (failures int) {
+	if err := f.Sync(); err != nil {
+		failures++
+	}
+	return failures
 }

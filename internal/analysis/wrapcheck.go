@@ -20,7 +20,10 @@ const amiPkgPath = "repro/internal/ami"
 //   - fmt.Errorf formatting an error operand without %w — the chain breaks
 //     and errors.Is/As stop seeing the sentinel;
 //   - matching err.Error() text (strings.Contains & friends, or ==/!= on
-//     the message) — the stringly matching PR 2 removed.
+//     the message) — the stringly matching PR 2 removed;
+//   - discarding the error from (*os.File).Sync — the WAL's ack is a
+//     durability promise, and a dropped fsync failure silently converts
+//     that promise into a lie.
 func newWrapCheck() *Analyzer {
 	return &Analyzer{
 		Name: "wrapcheck",
@@ -52,10 +55,47 @@ func runWrapCheck(mod *Module, pkg *Package, report func(token.Pos, string)) {
 				checkStringMatchCall(pkg.Info, n, report)
 			case *ast.BinaryExpr:
 				checkErrorTextCompare(pkg.Info, n, report)
+			case *ast.ExprStmt:
+				checkDiscardedSync(pkg.Info, n.X, "result of", report)
+			case *ast.DeferStmt:
+				checkDiscardedSync(pkg.Info, n.Call, "deferred", report)
+			case *ast.GoStmt:
+				checkDiscardedSync(pkg.Info, n.Call, "goroutine", report)
+			case *ast.AssignStmt:
+				checkBlankSync(pkg.Info, n, report)
 			}
 			return true
 		})
 	}
+}
+
+// checkDiscardedSync flags a (*os.File).Sync call whose error result never
+// reaches a variable: a bare statement, defer, or go statement.
+func checkDiscardedSync(info *types.Info, expr ast.Expr, how string, report func(token.Pos, string)) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || !isMethodOn(calleeOf(info, call), "os", "File", "Sync") {
+		return
+	}
+	report(call.Pos(), fmt.Sprintf(
+		"%s (*os.File).Sync ignored; a lost fsync error breaks the WAL durability promise — handle it or record it on the instruments", how))
+}
+
+// checkBlankSync flags `_ = f.Sync()`: an explicit discard is still a
+// discard when the call is the durability barrier behind an ack.
+func checkBlankSync(info *types.Info, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isMethodOn(calleeOf(info, call), "os", "File", "Sync") {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	report(call.Pos(), "error from (*os.File).Sync assigned to _; a lost fsync error breaks the WAL durability promise — handle it or record it on the instruments")
 }
 
 // checkErrorfWrap flags fmt.Errorf calls that format an error-typed

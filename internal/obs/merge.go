@@ -113,6 +113,27 @@ func Quantile(m *Metric, q float64) float64 {
 	return m.Buckets[len(m.Buckets)-1].UpperBound
 }
 
+// Total sums a metric family across every label set in the snapshot:
+// counter and gauge values add, histograms contribute their observation
+// counts. The sharded head-end registers one instrument per shard
+// (labeled shard=i); Total gives the fleet-wide figure without
+// enumerating the shards.
+func (s *Snapshot) Total(name string) float64 {
+	var total float64
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		if m.Type == "histogram" {
+			total += float64(m.Count)
+		} else {
+			total += m.Value
+		}
+	}
+	return total
+}
+
 // Find returns the first metric in the snapshot with the given name and
 // labels, or nil. Label order is irrelevant.
 func (s *Snapshot) Find(name string, labels ...Label) *Metric {

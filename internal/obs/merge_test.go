@@ -14,6 +14,35 @@ func snapWith(fill func(r *Registry)) Snapshot {
 	return r.Snapshot()
 }
 
+// Total folds a per-shard labeled family into one figure: counters and
+// gauges sum values, histograms contribute observation counts, and other
+// families in the snapshot stay out of the sum.
+func TestSnapshotTotal(t *testing.T) {
+	s := snapWith(func(r *Registry) {
+		r.Counter("fdeta_test_wal_appended_total", "", L("shard", "0")).Add(3)
+		r.Counter("fdeta_test_wal_appended_total", "", L("shard", "1")).Add(4)
+		r.Counter("fdeta_test_other_total", "").Add(100)
+		r.Gauge("fdeta_test_depth", "", L("shard", "0")).Set(2)
+		r.Gauge("fdeta_test_depth", "", L("shard", "1")).Set(5)
+		h := r.Histogram("fdeta_test_sync_seconds", "", []float64{0.1, 1})
+		h.Observe(0.05)
+		h.Observe(0.5)
+		h.Observe(2)
+	})
+	if got := s.Total("fdeta_test_wal_appended_total"); got != 7 {
+		t.Errorf("counter family Total = %g, want 7", got)
+	}
+	if got := s.Total("fdeta_test_depth"); got != 7 {
+		t.Errorf("gauge family Total = %g, want 7", got)
+	}
+	if got := s.Total("fdeta_test_sync_seconds"); got != 3 {
+		t.Errorf("histogram Total = %g, want 3 observations", got)
+	}
+	if got := s.Total("fdeta_test_absent"); got != 0 {
+		t.Errorf("absent family Total = %g, want 0", got)
+	}
+}
+
 func TestMergeSnapshotsSumsByIdentity(t *testing.T) {
 	a := snapWith(func(r *Registry) {
 		r.Counter("fdeta_test_total", "", L("shard", "0")).Add(3)
