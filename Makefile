@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population collect-smoke chaos-smoke fuzz faults-smoke verify
+.PHONY: build test vet fmt-check lint lint-suppressions race race-hot bench bench-quick bench-population collect-smoke chaos-smoke serve-smoke fuzz faults-smoke verify
 
 build:
 	$(GO) build ./...
@@ -88,10 +88,19 @@ fuzz:
 faults-smoke:
 	$(GO) run ./cmd/fdeta faults -consumers 4 -trials 2 -rates 0,0.3
 
+# serve-smoke: the always-on streaming detection service under the race
+# detector — an in-process sharded head-end taps accepted readings into
+# compact per-consumer streams over real TCP, re-trains mid-stream, then
+# one meter zeroes its reports. Fails unless the tampered meter raises a
+# HIGH alert (visible over GET /alerts), the honest meter stays silent,
+# and every acked reading is observed through the SIGTERM-style drain.
+serve-smoke:
+	$(GO) run -race ./cmd/fdeta serve -smoke
+
 # verify: the gate for every PR — build, vet, gofmt drift, the domain
 # linter, the targeted race pass over the obs/ami/experiments concurrency
 # surfaces plus the full-tree race detector, the quick benchmarks, the
-# population-training smoke, the race-enabled ingestion-tier and
-# kill-and-recover smokes, the fuzz passes, and the fault-injection smoke
-# run.
-verify: build vet fmt-check lint race-hot race bench-quick bench-population collect-smoke chaos-smoke fuzz faults-smoke
+# population-training smoke, the race-enabled ingestion-tier,
+# kill-and-recover, and streaming-service smokes, the fuzz passes, and the
+# fault-injection smoke run.
+verify: build vet fmt-check lint race-hot race bench-quick bench-population collect-smoke chaos-smoke serve-smoke fuzz faults-smoke

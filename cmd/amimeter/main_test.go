@@ -10,7 +10,7 @@ import (
 )
 
 func TestAmimeterEndToEnd(t *testing.T) {
-	head := ami.NewHeadEnd()
+	head := ami.New()
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func TestAmimeterEndToEnd(t *testing.T) {
 }
 
 func TestAmimeterUnderreport(t *testing.T) {
-	head := ami.NewHeadEnd()
+	head := ami.New()
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestAmimeterUnderreport(t *testing.T) {
 }
 
 func TestAmimeterFaultInjection(t *testing.T) {
-	head := ami.NewHeadEnd()
+	head := ami.New()
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

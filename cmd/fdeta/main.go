@@ -25,6 +25,7 @@
 //	spread        multi-victim theft spreading
 //	bill          statements + revenue assurance
 //	collect       concurrent TCP collection harness over the AMI head-end
+//	serve         always-on streaming detection service with tiered alerts
 //	chaos         kill -9/restart durability harness for the WAL-backed head-end
 //	bench         benchmark trajectory recorder (BENCH_<date>.json)
 //
@@ -94,6 +95,8 @@ func run(args []string) int {
 		err = cmdSimulate(rest)
 	case "collect":
 		err = cmdCollect(rest)
+	case "serve":
+		err = cmdServe(rest)
 	case "chaos":
 		err = cmdChaos(rest)
 	case "bench":
@@ -127,6 +130,11 @@ Operations:
   investigate   balance checks, alarms, and localization on a feeder
   simulate      scripted multi-week feeder simulation with scored detection
   collect       concurrent TCP collection harness over the AMI head-end
+  serve         always-on streaming detection service: compact per-consumer
+                detector state fed by the head-end's accepted-reading tap,
+                tiered alerts over JSONL + SSE + the admin endpoint, rolling
+                re-train without stopping (-smoke for CI, -bench-consumers
+                for the fleet-scale footprint)
   chaos         kill -9/restart durability harness: proves acked readings
                 survive crashes of the WAL-backed sharded head-end
 

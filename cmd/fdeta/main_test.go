@@ -200,3 +200,30 @@ func TestRunEvalCommandsQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestRunServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve smoke streams 13 weeks over TCP")
+	}
+	dir := t.TempDir()
+	alerts := filepath.Join(dir, "alerts.jsonl")
+	if got := run([]string{"serve", "-smoke", "-alerts-out", alerts}); got != 0 {
+		t.Fatalf("serve -smoke exited %d", got)
+	}
+	buf, err := os.ReadFile(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"tier":"HIGH"`) {
+		t.Errorf("alert JSONL lacks a HIGH event:\n%s", buf)
+	}
+}
+
+func TestRunServeFlagValidation(t *testing.T) {
+	if got := run([]string{"serve", "-weeks", "3", "-train", "4"}); got != 1 {
+		t.Errorf("-weeks < train+2 exited %d, want 1", got)
+	}
+	if got := run([]string{"serve", "-meters", "1", "-weeks", "13", "-train", "4"}); got != 1 {
+		t.Errorf("-meters 1 exited %d, want 1", got)
+	}
+}

@@ -57,7 +57,7 @@ func run() error {
 	// AMI plumbing: head-end, and a MITM on the victim's link that starts
 	// zeroing readings 24 hours (48 slots) into the live week — a maximal
 	// Class-2A theft beginning mid-stream.
-	head := ami.NewHeadEnd()
+	head := ami.New()
 	headAddr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		return err

@@ -65,11 +65,11 @@ func run() error {
 
 	// Start the head-end with explicit lifecycle limits: idle meters are
 	// cut after a minute, and shutdown force-closes stragglers after 2s.
-	head := ami.NewHeadEndWith(ami.HeadEndConfig{
+	head := ami.New(ami.WithConfig(ami.HeadEndConfig{
 		MaxConns:     64,
 		IdleTimeout:  time.Minute,
 		DrainTimeout: 2 * time.Second,
-	})
+	}))
 	headAddr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		return err

@@ -82,7 +82,7 @@ func TestReadingMsgToReading(t *testing.T) {
 
 func startHeadEnd(t *testing.T) (*HeadEnd, string) {
 	t.Helper()
-	h := NewHeadEnd()
+	h := New()
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +299,7 @@ func TestMultipleMetersConcurrent(t *testing.T) {
 }
 
 func TestHeadEndCloseIdempotentOrdering(t *testing.T) {
-	h := NewHeadEnd()
+	h := New()
 	if _, err := h.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

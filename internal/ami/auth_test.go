@@ -80,8 +80,7 @@ func TestKeyringVerifyEnvelope(t *testing.T) {
 
 func TestAuthenticatedSessionEndToEnd(t *testing.T) {
 	key := []byte("shared-secret")
-	head := NewHeadEnd()
-	head.SetKeyring(NewKeyring(map[string][]byte{"m1": key}))
+	head := New(WithKeyring(NewKeyring(map[string][]byte{"m1": key})))
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -109,8 +108,7 @@ func TestMITMDefeatedBySignatures(t *testing.T) {
 	// that rewrites readings is detected — the rewritten reading fails the
 	// MAC and is rejected.
 	key := []byte("shared-secret")
-	head := NewHeadEnd()
-	head.SetKeyring(NewKeyring(map[string][]byte{"m1": key}))
+	head := New(WithKeyring(NewKeyring(map[string][]byte{"m1": key})))
 	upstream, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -149,8 +147,7 @@ func TestCompromisedMeterKeyStillSteals(t *testing.T) {
 	// the meter holds its key — signatures verify, theft succeeds, and
 	// only data-driven detection remains.
 	key := []byte("shared-secret")
-	head := NewHeadEnd()
-	head.SetKeyring(NewKeyring(map[string][]byte{"m1": key}))
+	head := New(WithKeyring(NewKeyring(map[string][]byte{"m1": key})))
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -186,8 +183,7 @@ func TestCompromisedMeterKeyStillSteals(t *testing.T) {
 }
 
 func TestUnsignedReadingRejectedWhenKeyringActive(t *testing.T) {
-	head := NewHeadEnd()
-	head.SetKeyring(NewKeyring(map[string][]byte{"m1": []byte("k")}))
+	head := New(WithKeyring(NewKeyring(map[string][]byte{"m1": []byte("k")})))
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -120,8 +120,9 @@ type HeadEnd struct {
 	conns  map[net.Conn]bool
 	active int
 
-	met *headEndMetrics
-	log *slog.Logger
+	met  *headEndMetrics
+	log  *slog.Logger
+	sink ReadingSink // accepted-reading tap (WithSink); nil = disabled
 
 	done chan struct{} // closed when Close begins; handlers drain on it
 	wg   sync.WaitGroup
@@ -195,8 +196,8 @@ func (h *HeadEnd) Listen(addr string) (string, error) {
 }
 
 // sessionEnv assembles the shared session state machine's environment.
-// Built per connection so a SetKeyring between Listen calls is honored;
-// everything inside is read-only for the session's lifetime.
+// Built per connection; everything inside is read-only for the session's
+// lifetime.
 func (h *HeadEnd) sessionEnv() *sessionEnv {
 	h.mu.Lock()
 	kr := h.keyring
@@ -264,24 +265,28 @@ func (h *HeadEnd) untrack(conn net.Conn, session bool) {
 }
 
 // storeReading stores one accepted reading synchronously (ingestStore).
-// The in-memory map cannot fail, so the error is always nil.
+// The in-memory map cannot fail, so the error is always nil. The sink tap
+// runs after the store apply and outside the lock, so a slow sink stalls
+// only this meter's session, never the whole store.
 func (h *HeadEnd) storeReading(r *ReadingMsg) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	m, ok := h.readings[r.MeterID]
 	if !ok {
 		m = make(map[timeseries.Slot]float64)
 		h.readings[r.MeterID] = m
 	}
 	m[timeseries.Slot(r.Slot)] = r.KW
+	h.mu.Unlock()
 	h.met.accepted.Inc()
+	if h.sink != nil {
+		h.sink(r.MeterID, []BatchReading{{Slot: r.Slot, KW: r.KW}})
+	}
 	return nil
 }
 
 // storeBatch stores an accepted batch under one lock hold (ingestStore).
 func (h *HeadEnd) storeBatch(b *BatchMsg) error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	m, ok := h.readings[b.MeterID]
 	if !ok {
 		m = make(map[timeseries.Slot]float64, len(b.Readings))
@@ -290,7 +295,11 @@ func (h *HeadEnd) storeBatch(b *BatchMsg) error {
 	for _, r := range b.Readings {
 		m[timeseries.Slot(r.Slot)] = r.KW
 	}
+	h.mu.Unlock()
 	h.met.accepted.Add(int64(len(b.Readings)))
+	if h.sink != nil {
+		h.sink(b.MeterID, b.Readings)
+	}
 	return nil
 }
 

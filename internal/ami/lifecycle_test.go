@@ -26,7 +26,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // while any meter held an idle connection. With the registry + drain
 // timeout it must return within a bounded time and account the force-close.
 func TestHeadEndCloseBoundedWithIdleConn(t *testing.T) {
-	h := NewHeadEndWith(HeadEndConfig{DrainTimeout: 100 * time.Millisecond})
+	h := New(WithConfig(HeadEndConfig{DrainTimeout: 100 * time.Millisecond}))
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestMITMCloseBoundedWithIdleConn(t *testing.T) {
 
 // A second Close (and Close before Listen) must stay cheap and safe.
 func TestCloseIdempotent(t *testing.T) {
-	h := NewHeadEndWith(HeadEndConfig{DrainTimeout: 50 * time.Millisecond})
+	h := New(WithConfig(HeadEndConfig{DrainTimeout: 50 * time.Millisecond}))
 	if err := h.Close(); err != nil {
 		t.Fatalf("close before listen: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestListenTwiceRejected(t *testing.T) {
 }
 
 func TestHeadEndConnectionLimit(t *testing.T) {
-	h := NewHeadEndWith(HeadEndConfig{MaxConns: 2, DrainTimeout: 200 * time.Millisecond})
+	h := New(WithConfig(HeadEndConfig{MaxConns: 2, DrainTimeout: 200 * time.Millisecond}))
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -167,7 +167,7 @@ func TestHeadEndConnectionLimit(t *testing.T) {
 }
 
 func TestHeadEndIdleTimeoutCutsConnection(t *testing.T) {
-	h := NewHeadEndWith(HeadEndConfig{IdleTimeout: 80 * time.Millisecond, DrainTimeout: 100 * time.Millisecond})
+	h := New(WithConfig(HeadEndConfig{IdleTimeout: 80 * time.Millisecond, DrainTimeout: 100 * time.Millisecond}))
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -217,8 +217,7 @@ func TestSessionMismatchTyped(t *testing.T) {
 }
 
 func TestAuthRejectionTyped(t *testing.T) {
-	h := NewHeadEnd()
-	h.SetKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")}))
+	h := New(WithKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")})))
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -315,8 +314,7 @@ func TestSendContextCancelAbortsBackoff(t *testing.T) {
 
 // SendAll wraps per-reading failures; the wrap must stay classifiable.
 func TestSendAllWrappedErrorsClassify(t *testing.T) {
-	h := NewHeadEnd()
-	h.SetKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")}))
+	h := New(WithKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")})))
 	addr, err := h.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -80,9 +80,29 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
-// New creates an idle head-end. With no options it behaves exactly like the
-// old NewHeadEnd: production lifecycle defaults, no keyring, and a private
-// metrics registry.
+// ReadingSink receives every accepted reading after it reaches the head-end
+// store — the tap a streaming consumer (internal/serve) subscribes with.
+//
+// Contract: the sink is called once per accepted reading or batch, after
+// the store apply, with calls for any one meter delivered in acceptance
+// order (on a sharded head-end the shard worker — a single goroutine per
+// shard — makes the call, so the session ack path never blocks on the
+// sink; distinct meters may be delivered concurrently from different
+// shards). The readings slice is borrowed: the sink must not retain or
+// mutate it after returning. WAL recovery at startup repopulates the store
+// directly and does not replay through the sink — a consumer that needs
+// history bootstraps from the store itself.
+type ReadingSink func(meterID string, readings []BatchReading)
+
+// WithSink taps the accepted-reading stream: every reading that is stored
+// (and therefore acknowledged) is also handed to sink. A nil sink disables
+// the tap.
+func WithSink(sink ReadingSink) Option {
+	return func(h *HeadEnd) { h.sink = sink }
+}
+
+// New creates an idle head-end. With no options it selects production
+// lifecycle defaults, no keyring, and a private metrics registry.
 func New(opts ...Option) *HeadEnd {
 	h := &HeadEnd{
 		readings: make(map[string]map[timeseries.Slot]float64),
@@ -98,28 +118,4 @@ func New(opts ...Option) *HeadEnd {
 		h.met = newHeadEndMetrics(obs.NewRegistry())
 	}
 	return h
-}
-
-// NewHeadEnd creates an idle head-end with default lifecycle limits.
-//
-// Deprecated: use New.
-func NewHeadEnd() *HeadEnd {
-	return New()
-}
-
-// NewHeadEndWith creates an idle head-end with explicit lifecycle limits.
-//
-// Deprecated: use New with WithConfig (or the per-field options).
-func NewHeadEndWith(cfg HeadEndConfig) *HeadEnd {
-	return New(WithConfig(cfg))
-}
-
-// SetKeyring enables per-reading HMAC verification. Must be called before
-// Listen.
-//
-// Deprecated: use New(WithKeyring(kr)).
-func (h *HeadEnd) SetKeyring(kr *Keyring) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.keyring = kr
 }

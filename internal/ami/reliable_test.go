@@ -197,8 +197,7 @@ func TestReliableClientGivesUpEventually(t *testing.T) {
 func TestReliableClientDoesNotRetryRejections(t *testing.T) {
 	// An auth rejection is permanent: the reliable client must not burn
 	// its retry budget redialing.
-	head := NewHeadEnd()
-	head.SetKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")}))
+	head := New(WithKeyring(NewKeyring(map[string][]byte{"m1": []byte("right-key")})))
 	addr, err := head.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

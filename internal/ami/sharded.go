@@ -55,6 +55,12 @@ type ingestShard struct {
 	stored *obs.Counter // fdeta_ami_shard_readings_total{shard=i}
 	depth  *obs.Gauge   // fdeta_ami_shard_queue_depth{shard=i}
 
+	// sink, when non-nil, receives every stored batch after the store
+	// apply. The worker is the shard's single goroutine, so sink calls for
+	// any one meter arrive in acceptance order and never touch the session
+	// ack path.
+	sink ReadingSink
+
 	// wal, when non-nil, is this shard's write-ahead log: storeReading /
 	// storeBatch append to it before enqueueing (and before the session
 	// acks), and the worker services its compaction requests.
@@ -108,6 +114,9 @@ func (s *ingestShard) run(log *slog.Logger) {
 		}
 		s.mu.Unlock()
 		s.stored.Add(int64(len(job.readings)))
+		if s.sink != nil {
+			s.sink(job.meterID, job.readings)
+		}
 	}
 }
 
@@ -237,6 +246,7 @@ func NewSharded(shards int, opts ...Option) *ShardedHeadEnd {
 		label := obs.L("shard", strconv.Itoa(i))
 		s := &ingestShard{
 			readings: make(map[string]map[timeseries.Slot]float64),
+			sink:     seed.sink,
 			queue:    make(chan ingestJob, depth),
 			stored: reg.Counter(metricShardStored,
 				"readings written to this shard's store", label),

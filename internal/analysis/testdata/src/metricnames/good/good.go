@@ -28,6 +28,13 @@ const (
 	metricWALTorn     = "fdeta_good_wal_torn_tail_total"
 	metricWALSync     = "fdeta_good_wal_sync_seconds"
 	metricWALSegments = "fdeta_good_wal_segment_bytes"
+	// The streaming-service shapes: counter families labelled by result and
+	// tier, plus suffix-conformant fleet-aggregate ratio gauges, mirroring
+	// the fdeta_serve_* instruments the detection service registers.
+	metricServeObserved = "fdeta_good_serve_observed_total"
+	metricServeAlerts   = "fdeta_good_serve_alerts_total"
+	metricServeCovMin   = "fdeta_good_serve_coverage_min_ratio"
+	metricServeFillMean = "fdeta_good_serve_window_fill_mean_ratio"
 )
 
 // Register registers a labelled counter family and a histogram.
@@ -65,4 +72,15 @@ func RegisterWAL(reg *obs.Registry, shards []string) {
 		reg.Gauge(metricWALSegments, "live segment bytes per shard", obs.L("shard", s))
 	}
 	reg.Histogram(metricWALSync, "fsync latency", obs.LatencyBuckets())
+}
+
+// RegisterServe registers the streaming-service-shaped instruments:
+// result- and tier-labelled counter families plus aggregate ratio gauges.
+func RegisterServe(reg *obs.Registry) {
+	reg.Counter(metricServeObserved, "readings processed", obs.L("result", "ok"))
+	reg.Counter(metricServeObserved, "readings processed", obs.L("result", "missing"))
+	reg.Counter(metricServeAlerts, "alert events", obs.L("tier", "high"))
+	reg.Counter(metricServeAlerts, "alert events", obs.L("tier", "cleared"))
+	reg.Gauge(metricServeCovMin, "minimum window coverage across consumers")
+	reg.Gauge(metricServeFillMean, "mean live-fill fraction across consumers")
 }

@@ -1,0 +1,246 @@
+package detect
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// CompactKLDStream is the fleet-scale form of StreamingKLD: the same
+// window semantics, verdicts, and coverage gate, but holding per-slot *bin
+// indices* instead of raw readings. A raw 336-slot float64 window alone is
+// 2688 bytes; the compact state — one byte per slot, a uint16 tally per
+// histogram bin, a bad-slot bitset, and its own copy of the frozen bin
+// edges and X distribution — fits a consumer in well under 1 KiB, so a
+// million-meter fleet's streaming state fits in RAM (the serve layer's
+// memory accounting test pins this).
+//
+// Carrying the edges and X probabilities itself makes the state
+// self-contained: the service can drop the full KLDDetector (training
+// matrix, per-week divergences, scratch pools) after constructing the
+// stream. The trade is that raw window values are gone — a Reseed rebins
+// the new seed only into slots that hold no trusted live reading, exactly
+// like StreamingKLD.Reseed, because live slots keep their already-binned
+// contribution.
+//
+// Verdicts are bit-identical to StreamingKLD over the same observation
+// sequence: the window distribution is counts/336, exactly what
+// Histogram.DistributionInto computes (counts below 2^53 are exact in
+// float64), and the divergence and verdict rendering run through the same
+// stats.KLDivergenceWith and kldVerdict code paths.
+type CompactKLDStream struct {
+	name         string
+	opts         stats.KLOptions
+	edges        []float64 // B+1 frozen bin edges (head of the float buffer)
+	xprobs       []float64 // B-long X distribution (tail of the float buffer)
+	threshold    float64
+	significance float64
+	minCov       float64
+	counts       []uint16 // live tally of window slots per bin
+	bins         []uint8  // per-slot bin index (head of the byte buffer)
+	bad          []uint8  // untrusted-slot bitset (tail of the byte buffer)
+	pos          uint16
+	filled       uint16
+	nbad         uint16
+}
+
+// compactScratch pools the probability/KL buffers for the scoring hot
+// path, shared across all compact streams so per-consumer state stays flat.
+var compactScratch = sync.Pool{New: func() any { return &kldScratch{} }}
+
+// maxCompactBins bounds the histogram size a uint8 bin index can address.
+const maxCompactBins = 256
+
+// NewCompactStream seeds a compact streaming evaluator with a trusted
+// historic week, typically the final training week. The returned stream is
+// independent of the detector: it copies the frozen edges, X distribution,
+// and threshold, so the (much larger) detector may be released afterwards.
+func (d *KLDDetector) NewCompactStream(seedWeek timeseries.Series) (*CompactKLDStream, error) {
+	return d.NewCompactStreamWithPolicy(seedWeek, QualityPolicy{})
+}
+
+// NewCompactStreamWithPolicy is NewCompactStream with an explicit quality
+// policy. The zero policy selects the package defaults.
+func (d *KLDDetector) NewCompactStreamWithPolicy(seedWeek timeseries.Series, policy QualityPolicy) (*CompactKLDStream, error) {
+	if d.cfg.Divergence != KullbackLeibler {
+		return nil, fmt.Errorf("detect: compact stream supports only the %s divergence, got %s",
+			KullbackLeibler, d.cfg.Divergence)
+	}
+	if err := validateWeek(seedWeek); err != nil {
+		return nil, err
+	}
+	policy = policy.withDefaults()
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	b := d.hist.Bins()
+	if b > maxCompactBins {
+		return nil, fmt.Errorf("detect: compact stream supports <= %d bins, got %d", maxCompactBins, b)
+	}
+	// Two backing allocations: one float64 buffer for edges|xprobs, one
+	// byte buffer for bins|bad. Full-capacity slicing keeps appends (there
+	// are none) from ever crossing the boundary.
+	fbuf := make([]float64, (b+1)+b)
+	bbuf := make([]uint8, timeseries.SlotsPerWeek+(timeseries.SlotsPerWeek+7)/8)
+	s := &CompactKLDStream{
+		name:         d.Name(),
+		opts:         d.cfg.KL,
+		edges:        fbuf[: b+1 : b+1],
+		xprobs:       fbuf[b+1:],
+		threshold:    d.threshold,
+		significance: d.cfg.Significance,
+		minCov:       policy.MinCoverage,
+		counts:       make([]uint16, b),
+		bins:         bbuf[:timeseries.SlotsPerWeek:timeseries.SlotsPerWeek],
+		bad:          bbuf[timeseries.SlotsPerWeek:],
+	}
+	copy(s.edges, d.hist.Edges())
+	copy(s.xprobs, d.xProbs)
+	for i, v := range seedWeek {
+		bin := stats.BinIndexEdges(s.edges, v) // validated week: never NaN
+		s.bins[i] = uint8(bin)
+		s.counts[bin]++
+	}
+	return s, nil
+}
+
+// Name identifies the underlying detector configuration (StreamDetector).
+func (s *CompactKLDStream) Name() string { return s.name }
+
+// Observe advances the stream with a trusted live reading (StreamDetector).
+func (s *CompactKLDStream) Observe(v float64) (Verdict, error) {
+	if err := checkStreamReading(v); err != nil {
+		return Verdict{}, err
+	}
+	return s.observe(stats.BinIndexEdges(s.edges, v), timeseries.StatusOK)
+}
+
+// ObserveStatus advances the stream with a quality-annotated reading
+// (StreamDetector). Missing/Corrupt/Imputed slots keep the trusted
+// stand-in already binned into the window and count against coverage.
+func (s *CompactKLDStream) ObserveStatus(v float64, status timeseries.ReadingStatus) (Verdict, error) {
+	switch status {
+	case timeseries.StatusOK:
+		return s.Observe(v)
+	case timeseries.StatusMissing, timeseries.StatusCorrupt, timeseries.StatusImputed:
+		return s.observe(int(s.bins[s.pos]), status)
+	default:
+		return Verdict{}, fmt.Errorf("detect: unknown reading status %v", status)
+	}
+}
+
+// observe writes the slot's bin, updates the tallies and coverage
+// bookkeeping, and evaluates the window under the coverage gate.
+func (s *CompactKLDStream) observe(bin int, status timeseries.ReadingStatus) (Verdict, error) {
+	p := int(s.pos)
+	wasBad := s.badBit(p)
+	isBad := status != timeseries.StatusOK
+	s.counts[s.bins[p]]--
+	s.counts[bin]++
+	s.bins[p] = uint8(bin)
+	s.setBadBit(p, isBad)
+	if isBad && !wasBad {
+		s.nbad++
+	} else if !isBad && wasBad {
+		s.nbad--
+	}
+	s.pos = (s.pos + 1) % timeseries.SlotsPerWeek
+	if s.filled < timeseries.SlotsPerWeek {
+		s.filled++
+	}
+	cov := s.Coverage()
+	if cov < s.minCov {
+		return coverageVerdict(cov, s.minCov, int(s.nbad)), nil
+	}
+	return s.verdict()
+}
+
+// verdict scores the current window. The probabilities are counts/336 —
+// exactly Histogram.DistributionInto's arithmetic over the raw window — so
+// the divergence matches the full detector bit for bit.
+func (s *CompactKLDStream) verdict() (Verdict, error) {
+	sc := compactScratch.Get().(*kldScratch)
+	if cap(sc.probs) < len(s.counts) {
+		sc.probs = make([]float64, len(s.counts))
+	}
+	probs := sc.probs[:len(s.counts)]
+	n := float64(timeseries.SlotsPerWeek)
+	for i, c := range s.counts {
+		probs[i] = float64(c) / n
+	}
+	ka, err := stats.KLDivergenceWith(probs, s.xprobs, s.opts, &sc.kl)
+	compactScratch.Put(sc)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return kldVerdict(ka, s.threshold, s.significance), nil
+}
+
+// Reseed swaps the trusted historic seed behind the stream
+// (StreamDetector): slots holding trusted live readings keep their binned
+// contribution; untouched seed slots and untrusted stand-ins are rebinned
+// from the new seed week and coverage accounting resets to full. Mirrors
+// StreamingKLD.Reseed exactly.
+func (s *CompactKLDStream) Reseed(seed timeseries.Series) error {
+	if err := validateWeek(seed); err != nil {
+		return err
+	}
+	for i := 0; i < timeseries.SlotsPerWeek; i++ {
+		if s.live(i) && !s.badBit(i) {
+			continue
+		}
+		bin := stats.BinIndexEdges(s.edges, seed[i])
+		s.counts[s.bins[i]]--
+		s.counts[bin]++
+		s.bins[i] = uint8(bin)
+		if s.badBit(i) {
+			s.setBadBit(i, false)
+			s.nbad--
+		}
+	}
+	return nil
+}
+
+// live mirrors StreamingKLD.live: slot i has been written by an
+// observation rather than still holding untouched historic seed.
+func (s *CompactKLDStream) live(i int) bool {
+	return s.filled == timeseries.SlotsPerWeek || i < int(s.pos)
+}
+
+func (s *CompactKLDStream) badBit(i int) bool {
+	return s.bad[i>>3]&(1<<(i&7)) != 0
+}
+
+func (s *CompactKLDStream) setBadBit(i int, v bool) {
+	if v {
+		s.bad[i>>3] |= 1 << (i & 7)
+	} else {
+		s.bad[i>>3] &^= 1 << (i & 7)
+	}
+}
+
+// Filled returns how many live readings are currently in the window
+// (StreamDetector; saturates at 336).
+func (s *CompactKLDStream) Filled() int { return int(s.filled) }
+
+// Coverage returns the trusted fraction of the window (StreamDetector).
+func (s *CompactKLDStream) Coverage() float64 {
+	return 1 - float64(s.nbad)/timeseries.SlotsPerWeek
+}
+
+// Threshold returns the frozen anomaly threshold the stream judges against.
+func (s *CompactKLDStream) Threshold() float64 { return s.threshold }
+
+// MemoryFootprint returns the retained bytes of this stream's state: the
+// struct itself plus its backing arrays (the name string is shared with the
+// detector that built the stream and not counted). The serve layer's memory
+// accounting test checks this against actual allocator growth.
+func (s *CompactKLDStream) MemoryFootprint() int {
+	return int(unsafe.Sizeof(*s)) +
+		(cap(s.edges)+cap(s.xprobs))*8 +
+		cap(s.counts)*2 +
+		cap(s.bins) + cap(s.bad)
+}

@@ -292,14 +292,21 @@ func (d *KLDDetector) detectWeek(week timeseries.Series) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, err
 	}
+	return kldVerdict(ka, d.threshold, d.cfg.Significance), nil
+}
+
+// kldVerdict renders the KLD judgement for a computed divergence. Shared by
+// detectWeek and the compact streaming state so their verdicts — score,
+// threshold, and reason wording — are bit-identical for identical windows.
+func kldVerdict(ka, threshold, significance float64) Verdict {
 	v := Verdict{
 		Score:     ka,
-		Threshold: d.threshold,
-		Anomalous: ka > d.threshold,
+		Threshold: threshold,
+		Anomalous: ka > threshold,
 	}
 	if v.Anomalous {
 		v.Reason = fmt.Sprintf("KL divergence %.4g bits exceeds the %g%%-significance threshold %.4g",
-			ka, 100*d.cfg.Significance, d.threshold)
+			ka, 100*significance, threshold)
 	}
-	return v, nil
+	return v
 }

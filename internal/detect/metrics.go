@@ -33,11 +33,9 @@ func MetricsRegistry() *obs.Registry { return metricsReg.Load() }
 // fdetalint's metricnames check) so the fdeta_detect_* namespace is
 // auditable in one place.
 const (
-	metricVerdicts       = "fdeta_detect_verdicts_total"
-	metricDetectErrors   = "fdeta_detect_errors_total"
-	metricScore          = "fdeta_detect_score"
-	metricWindowCoverage = "fdeta_detect_stream_window_coverage"
-	metricWindowFilled   = "fdeta_detect_stream_window_filled"
+	metricVerdicts     = "fdeta_detect_verdicts_total"
+	metricDetectErrors = "fdeta_detect_errors_total"
+	metricScore        = "fdeta_detect_score"
 )
 
 // The population-trainer instrument names (the fdeta_train_* namespace,

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -75,8 +76,12 @@ func TestVerdictMetrics(t *testing.T) {
 	}
 }
 
-// TestStreamCoverageGauge checks the streaming window exports its coverage.
-func TestStreamCoverageGauge(t *testing.T) {
+// TestStreamNoSharedGauges pins the removal of the per-detector-name
+// coverage/fill gauges: two streams of the same detector were overwriting
+// each other, so streams now register nothing — the registry stays empty
+// when a stream advances, and coverage is read off the stream itself (the
+// serve layer aggregates it fleet-wide).
+func TestStreamNoSharedGauges(t *testing.T) {
 	reg := obs.NewRegistry()
 	SetMetricsRegistry(reg)
 	defer SetMetricsRegistry(nil)
@@ -86,6 +91,7 @@ func TestStreamCoverageGauge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	before := len(reg.Snapshot().Metrics)
 	s, err := d.NewStream(train[len(train)-timeseries.SlotsPerWeek:])
 	if err != nil {
 		t.Fatal(err)
@@ -97,9 +103,16 @@ func TestStreamCoverageGauge(t *testing.T) {
 	if _, err := s.ObserveStatus(0, timeseries.StatusMissing); err != nil {
 		t.Fatal(err)
 	}
-	gauge := reg.Gauge("fdeta_detect_stream_window_coverage", "", obs.L("detector", d.Name()))
+	for _, m := range reg.Snapshot().Metrics {
+		if strings.Contains(m.Name, "stream_window") {
+			t.Errorf("stream registered shared gauge %q; per-stream gauges were removed", m.Name)
+		}
+	}
+	if got := len(reg.Snapshot().Metrics); got != before {
+		t.Errorf("stream construction/advance registered %d new instruments, want 0", got-before)
+	}
 	want := 1 - 1.0/timeseries.SlotsPerWeek
-	if got := gauge.Value(); got != want {
-		t.Errorf("coverage gauge = %g, want %g", got, want)
+	if got := s.Coverage(); got != want {
+		t.Errorf("stream coverage = %g, want %g", got, want)
 	}
 }

@@ -39,10 +39,3 @@ func (p QualityPolicy) Validate() error {
 	}
 	return nil
 }
-
-// MaskedDetector is the former name of the masked-detection interface.
-// DetectMasked is now part of the Detector contract itself, implemented once
-// by the shared maskedEval path (masked.go).
-//
-// Deprecated: use Detector.
-type MaskedDetector = Detector

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -29,6 +28,11 @@ import (
 // the policy's coverage gate, verdicts are returned Inconclusive instead of
 // definite — a mostly-dead meter must read as *faulty*, not as evidence of
 // theft.
+//
+// Per-stream coverage/fill are exposed via Coverage and Filled; the serve
+// layer aggregates them across consumers into fleet-level gauges (the old
+// per-detector-name gauges reflected only the most recently advanced stream
+// and were dropped).
 type StreamingKLD struct {
 	det    *KLDDetector
 	window timeseries.Series
@@ -37,12 +41,6 @@ type StreamingKLD struct {
 	policy QualityPolicy
 	pos    int
 	filled int
-
-	// covGauge exports the window's trusted-coverage fraction; fillGauge the
-	// live-fill fraction. Shared per detector name, so they reflect the most
-	// recently advanced stream — a liveness signal, not a per-meter ledger.
-	covGauge  *obs.Gauge
-	fillGauge *obs.Gauge
 }
 
 // NewStream seeds a streaming evaluator with a trusted historic week (336
@@ -62,36 +60,50 @@ func (d *KLDDetector) NewStreamWithPolicy(seedWeek timeseries.Series, policy Qua
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
-	reg := MetricsRegistry()
-	det := obs.L("detector", d.Name())
 	return &StreamingKLD{
 		det:    d,
 		window: seedWeek.Clone(),
 		bad:    make([]bool, timeseries.SlotsPerWeek),
 		policy: policy,
-		covGauge: reg.Gauge(metricWindowCoverage,
-			"trusted fraction of the streaming window", det),
-		fillGauge: reg.Gauge(metricWindowFilled,
-			"live fraction of the streaming window", det),
 	}, nil
+}
+
+// checkStreamReading rejects readings no streaming window may absorb: a NaN
+// entering the window would poison every verdict for the next 336
+// observations, an infinity would degenerate the histogram, and negative
+// consumption is a protocol violation. Shared by every StreamDetector so
+// rejection messages are uniform.
+func checkStreamReading(v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("detect: non-finite reading NaN")
+	}
+	if math.IsInf(v, 0) {
+		return fmt.Errorf("detect: non-finite reading %g", v)
+	}
+	if v < 0 {
+		return fmt.Errorf("detect: negative reading %g", v)
+	}
+	return nil
+}
+
+// coverageVerdict is the shared below-the-gate Inconclusive verdict, worded
+// identically for every streaming evaluator.
+func coverageVerdict(cov, minCov float64, nbad int) Verdict {
+	return Verdict{
+		Inconclusive: true,
+		Reason: fmt.Sprintf("window coverage %.1f%% below the %.0f%% gate (%d of %d slots untrusted) — verdict inconclusive",
+			100*cov, 100*minCov, nbad, timeseries.SlotsPerWeek),
+	}
 }
 
 // Observe replaces the next slot of the window with a live reading and
 // returns the verdict over the updated window. After 336 observations the
 // window consists entirely of live data and wraps around. Non-finite or
-// negative readings are rejected outright: a NaN entering the window would
-// poison every verdict for the next 336 observations, and an infinity would
-// degenerate the histogram — callers holding such a reading should report
-// it as corrupt via ObserveStatus instead.
+// negative readings are rejected outright — callers holding such a reading
+// should report it as corrupt via ObserveStatus instead.
 func (s *StreamingKLD) Observe(v float64) (Verdict, error) {
-	if math.IsNaN(v) {
-		return Verdict{}, fmt.Errorf("detect: non-finite reading NaN")
-	}
-	if math.IsInf(v, 0) {
-		return Verdict{}, fmt.Errorf("detect: non-finite reading %g", v)
-	}
-	if v < 0 {
-		return Verdict{}, fmt.Errorf("detect: negative reading %g", v)
+	if err := checkStreamReading(v); err != nil {
+		return Verdict{}, err
 	}
 	return s.observe(v, timeseries.StatusOK)
 }
@@ -130,17 +142,46 @@ func (s *StreamingKLD) observe(v float64, status timeseries.ReadingStatus) (Verd
 		s.filled++
 	}
 	cov := s.Coverage()
-	s.covGauge.Set(cov)
-	s.fillGauge.Set(float64(s.filled) / timeseries.SlotsPerWeek)
 	if cov < s.policy.MinCoverage {
-		return Verdict{
-			Inconclusive: true,
-			Reason: fmt.Sprintf("window coverage %.1f%% below the %.0f%% gate (%d of %d slots untrusted) — verdict inconclusive",
-				100*cov, 100*s.policy.MinCoverage, s.nbad, timeseries.SlotsPerWeek),
-		}, nil
+		return coverageVerdict(cov, s.policy.MinCoverage, s.nbad), nil
 	}
 	return s.det.Detect(s.window)
 }
+
+// Reseed swaps the trusted historic seed behind the stream — the rolling
+// re-train path. Window slots holding trusted live readings are left alone:
+// a re-train must never flip the verdict contribution of data the meter
+// actually reported. Every other slot — historic seed not yet overwritten,
+// and untrusted stand-ins left by Missing/Corrupt observations — is
+// replaced with the new seed week and becomes trusted again, so coverage
+// accounting resets to full.
+func (s *StreamingKLD) Reseed(seed timeseries.Series) error {
+	if err := validateWeek(seed); err != nil {
+		return err
+	}
+	for i := 0; i < timeseries.SlotsPerWeek; i++ {
+		if s.live(i) && !s.bad[i] {
+			continue
+		}
+		s.window[i] = seed[i]
+		if s.bad[i] {
+			s.bad[i] = false
+			s.nbad--
+		}
+	}
+	return nil
+}
+
+// live reports whether slot i has been written by an observation (trusted
+// or stand-in) rather than still holding untouched historic seed. During
+// the first lap pos == filled, so exactly the slots below pos are live;
+// after the window wraps every slot is.
+func (s *StreamingKLD) live(i int) bool {
+	return s.filled == timeseries.SlotsPerWeek || i < s.pos
+}
+
+// Name identifies the underlying detector (StreamDetector).
+func (s *StreamingKLD) Name() string { return s.det.Name() }
 
 // Filled returns how many live readings are currently in the window
 // (saturates at 336).

@@ -23,6 +23,7 @@ type AdminServer struct {
 	reg   *Registry
 	ln    net.Listener
 	srv   *http.Server
+	mux   *http.ServeMux
 	start time.Time
 }
 
@@ -50,6 +51,7 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	a.mux = mux
 	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// ErrServerClosed is the normal Close path; anything else is logged
@@ -66,6 +68,15 @@ func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 
 // Registry returns the registry the endpoint exports.
 func (a *AdminServer) Registry() *Registry { return a.reg }
+
+// Handle mounts an additional route on the admin mux, letting a component
+// hang its own endpoints (the serve layer's /alerts, /consumers/{id},
+// dashboard) off the same listener as /metrics. http.ServeMux registration
+// is safe while the server runs; registering a pattern the admin server
+// already owns panics, exactly like http.Handle.
+func (a *AdminServer) Handle(pattern string, handler http.Handler) {
+	a.mux.Handle(pattern, handler)
+}
 
 // Close stops the listener and in-flight handlers.
 func (a *AdminServer) Close() error { return a.srv.Close() }

@@ -74,3 +74,25 @@ func TestServeAdminBadAddr(t *testing.T) {
 		t.Fatal("bad address did not error")
 	}
 }
+
+// TestAdminServerHandle mounts a custom route next to the built-ins.
+func TestAdminServerHandle(t *testing.T) {
+	srv, err := ServeAdmin("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("/alerts", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"alerts":[]}`))
+	}))
+	base := "http://" + srv.Addr()
+	code, body := get(t, base+"/alerts")
+	if code != http.StatusOK || body != `{"alerts":[]}` {
+		t.Fatalf("/alerts = %d %q", code, body)
+	}
+	// The built-ins survive the extra mount.
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+}

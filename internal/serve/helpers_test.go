@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/timeseries"
+)
+
+// memStore is an in-memory Store: a map of fully dense series per
+// consumer, mirroring what a head-end accumulates.
+type memStore struct {
+	series map[string]timeseries.Series
+}
+
+func (m *memStore) Count(id string) int { return len(m.series[id]) }
+
+func (m *memStore) Series(id string, n int) (timeseries.Series, error) {
+	s, ok := m.series[id]
+	if !ok || n > len(s) {
+		return nil, fmt.Errorf("memStore: %q has %d readings, want %d", id, len(s), n)
+	}
+	out := make(timeseries.Series, n)
+	copy(out, s[:n])
+	return out, nil
+}
+
+// serveConsumer generates one synthetic residential consumer and splits it
+// into train/test series.
+func serveConsumer(t *testing.T, seed int64, weeks, trainWeeks int) (train, test timeseries.Series) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{Residential: 1, Weeks: weeks, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainWeeks >= weeks {
+		return ds.Consumers[0].Demand, nil
+	}
+	train, test, err = ds.Consumers[0].Demand.Split(trainWeeks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}

@@ -171,21 +171,30 @@ func (h *Histogram) Total() int { return h.total }
 // map to bin 0 and values at or above the last edge map to the last bin.
 // NaN values map to -1 and are not counted by Add.
 func (h *Histogram) BinIndex(x float64) int {
+	return BinIndexEdges(h.edges, x)
+}
+
+// BinIndexEdges is BinIndex over a bare edge slice (len(edges)-1 bins), for
+// callers that keep frozen edges without a full Histogram — the compact
+// streaming detector state bins each live reading against edges it carries
+// itself. Semantics are identical to Histogram.BinIndex: clamped at both
+// ends, NaN maps to -1.
+func BinIndexEdges(edges []float64, x float64) int {
 	if math.IsNaN(x) {
 		return -1
 	}
-	if x <= h.edges[0] {
+	if x <= edges[0] {
 		return 0
 	}
-	last := len(h.counts) - 1
-	if x >= h.edges[len(h.edges)-1] {
+	last := len(edges) - 2
+	if x >= edges[len(edges)-1] {
 		return last
 	}
 	// Binary search for the rightmost edge <= x.
-	lo, hi := 0, len(h.edges)-1
+	lo, hi := 0, len(edges)-1
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if h.edges[mid] <= x {
+		if edges[mid] <= x {
 			lo = mid
 		} else {
 			hi = mid
