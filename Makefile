@@ -17,8 +17,9 @@ fmt-check:
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
 
 # lint: the F-DETA domain linter — determinism, metric namespace, float
-# comparison hygiene, goroutine tracking, wire-error wrapping. Prints one
-# summary line per analyzer (packages / findings / suppressions); exits
+# comparison hygiene, goroutine tracking, wire-error wrapping, plus the
+# call-summary concurrency checks (lockhold, chanbound, blockctx). Prints
+# one summary line per analyzer (packages / findings / suppressions); exits
 # non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/fdetalint
@@ -31,11 +32,12 @@ race:
 	$(GO) test -race ./...
 
 # race-hot: targeted race pass over the concurrency-heavy packages — the
-# lock-free obs registry, the AMI head-end connection pool, and the
-# evaluation worker pool. Fast enough to run on every iteration; `race`
-# covers the whole tree.
+# lock-free obs registry, the AMI head-end connection pool, the evaluation
+# worker pool, the streaming detection service, and the population-training
+# pool. Fast enough to run on every iteration; `race` covers the whole
+# tree.
 race-hot:
-	$(GO) test -race -count=1 ./internal/obs ./internal/ami ./internal/experiments
+	$(GO) test -race -count=1 ./internal/obs ./internal/ami ./internal/experiments ./internal/serve ./internal/detect
 
 # bench-quick: one pass over the hot-path microbenchmarks — enough to catch
 # a gross perf/allocation regression without a full benchmark session.

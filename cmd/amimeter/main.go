@@ -127,6 +127,13 @@ func run(args []string, out io.Writer) int {
 		pending = pending[:0]
 		return 0, true
 	}
+	// One ticker paces every delivery; allocating a timer per reading
+	// (time.After in the loop) would leak one timer per slot sent.
+	var pace *time.Ticker
+	if *interval > 0 {
+		pace = time.NewTicker(*interval)
+		defer pace.Stop()
+	}
 	for s := 0; s < n; s++ {
 		if len(mask) > 0 && mask[s] == timeseries.StatusMissing {
 			continue // the backhaul dropped this slot: nothing to deliver
@@ -155,12 +162,12 @@ func run(args []string, out io.Writer) int {
 			}
 			sent++
 		}
-		if *interval > 0 {
+		if pace != nil {
 			select {
 			case <-ctx.Done():
 				fmt.Fprintf(out, "amimeter: %s interrupted after %d readings\n", *id, s+1)
 				return 130
-			case <-time.After(*interval):
+			case <-pace.C:
 			}
 		}
 	}

@@ -268,10 +268,7 @@ func (h *chaosHarness) driveMeter(ctx context.Context, addr string, m int) {
 			c, err = ami.DialBatch(addr, id, nil, 2*time.Second)
 			if err != nil {
 				c = nil
-				select {
-				case <-ctx.Done():
-				case <-time.After(20 * time.Millisecond):
-				}
+				sleepCtx(ctx, 20*time.Millisecond)
 				continue
 			}
 		}
@@ -312,10 +309,7 @@ func injectResets(ctx context.Context, addr string) {
 			_ = tc.SetLinger(0) // close() now sends RST, not FIN
 		}
 		_ = conn.Close()
-		select {
-		case <-ctx.Done():
-		case <-time.After(10 * time.Millisecond):
-		}
+		sleepCtx(ctx, 10*time.Millisecond)
 	}
 }
 
@@ -333,11 +327,24 @@ func injectSlowLoris(ctx context.Context, addr string) {
 		if _, err := conn.Write(frame[i : i+1]); err != nil {
 			return
 		}
-		select {
-		case <-ctx.Done():
+		if !sleepCtx(ctx, 25*time.Millisecond) {
 			return
-		case <-time.After(25 * time.Millisecond):
 		}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever comes first,
+// reporting whether the full pause elapsed. One timer per call, stopped on
+// early wake — unlike time.After in a loop, which leaks a timer per
+// iteration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

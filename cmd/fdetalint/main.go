@@ -7,14 +7,19 @@
 // Usage:
 //
 //	fdetalint [-C dir] [-checks list] [-q]   lint the module (exit 1 on findings)
+//	fdetalint -json [-C dir]                 machine-readable findings on stdout
+//	fdetalint -github [-C dir]               GitHub Actions ::error annotations
 //	fdetalint -suppressions [-C dir]         audit every //lint:ignore directive
 //
 // Findings print as file:line:col: [check] message, followed by a one-line
 // per-analyzer summary (packages checked / findings / suppressions) so the
-// `make verify` transcript stays scannable.
+// `make verify` transcript stays scannable. -json emits one object per
+// finding — suppressed ones included, marked — for tooling; -github emits
+// workflow commands so findings annotate the offending lines on a PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	quiet := fs.Bool("q", false, "suppress the per-analyzer summary lines")
 	suppressions := fs.Bool("suppressions", false, "list every //lint:ignore directive instead of linting")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (one object per line), suppressed ones included")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations for unsuppressed findings")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,32 +69,92 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	exit := 0
-	if typeErrs := analysis.TypeErrorFindings(mod); len(typeErrs) > 0 {
-		for _, f := range typeErrs {
-			fmt.Fprintln(stdout, relFinding(mod.Dir, f))
-		}
+	typeErrs := analysis.TypeErrorFindings(mod)
+	if len(typeErrs) > 0 {
+		exit = 1
+	}
+	res := analysis.Run(mod, analyzers)
+	if res.Unsuppressed() > 0 {
 		exit = 1
 	}
 
-	res := analysis.Run(mod, analyzers)
+	emit := printFinding
+	switch {
+	case *jsonOut:
+		emit = jsonFinding
+	case *github:
+		emit = githubFinding
+	}
+	for _, f := range typeErrs {
+		emit(stdout, mod.Dir, f)
+	}
 	for _, f := range res.BadDirectives {
-		fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+		emit(stdout, mod.Dir, f)
 	}
 	for _, f := range res.Findings {
-		if f.Suppressed {
+		if f.Suppressed && !*jsonOut {
+			// Only the JSON stream carries suppressed findings: tooling wants
+			// the full picture, humans and CI annotations want the failures.
 			continue
 		}
-		fmt.Fprintln(stdout, relFinding(mod.Dir, f))
+		emit(stdout, mod.Dir, f)
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut && !*github {
 		for _, s := range res.Summaries {
 			fmt.Fprintf(stderr, "fdetalint: %s\n", s)
 		}
 	}
-	if res.Unsuppressed() > 0 {
-		exit = 1
-	}
 	return exit
+}
+
+// printFinding is the human-readable default: file:line:col: [check] msg.
+func printFinding(w io.Writer, root string, f analysis.Finding) {
+	fmt.Fprintln(w, relFinding(root, f))
+}
+
+// jsonFinding emits one finding as a single-line JSON object.
+func jsonFinding(w io.Writer, root string, f analysis.Finding) {
+	b, err := json.Marshal(struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Check      string `json:"check"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+		Reason     string `json:"reason,omitempty"`
+	}{
+		File:       relPath(root, f.Pos.Filename),
+		Line:       f.Pos.Line,
+		Col:        f.Pos.Column,
+		Check:      f.Check,
+		Message:    f.Message,
+		Suppressed: f.Suppressed,
+		Reason:     f.Reason,
+	})
+	if err != nil {
+		// A finding is plain strings and ints; this cannot fail.
+		panic(err)
+	}
+	fmt.Fprintf(w, "%s\n", b)
+}
+
+// githubFinding emits one workflow command per finding so GitHub Actions
+// annotates the offending line. Property values escape %, CR, LF, comma,
+// and colon per the workflow-command grammar.
+func githubFinding(w io.Writer, root string, f analysis.Finding) {
+	fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=fdetalint(%s)::%s\n",
+		githubEscape(relPath(root, f.Pos.Filename), true), f.Pos.Line, f.Pos.Column,
+		githubEscape(f.Check, true), githubEscape(f.Message, false))
+}
+
+// githubEscape encodes a workflow-command value; property values (inside
+// the key=value list) additionally escape their delimiters.
+func githubEscape(s string, property bool) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	if property {
+		r = strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ",", "%2C", ":", "%3A")
+	}
+	return r.Replace(s)
 }
 
 // runSuppressions implements the -suppressions audit: every directive with

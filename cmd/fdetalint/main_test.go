@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,9 +23,104 @@ func TestRunCleanTree(t *testing.T) {
 	if stdout.Len() != 0 {
 		t.Errorf("clean tree printed findings:\n%s", stdout.String())
 	}
-	for _, check := range []string{"determinism", "metricnames", "floatcmp", "goroutines", "wrapcheck"} {
+	for _, check := range []string{"determinism", "metricnames", "floatcmp", "goroutines", "wrapcheck",
+		"lockhold", "chanbound", "blockctx"} {
 		if !strings.Contains(stderr.String(), check) {
 			t.Errorf("summary missing analyzer %q:\n%s", check, stderr.String())
+		}
+	}
+}
+
+// TestRunJSON checks the machine-readable stream: one object per line,
+// suppressed findings included and marked, with module-relative paths. The
+// tree is clean, so every object must be a suppressed finding with a
+// reason.
+func TestRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", "../..", "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on a clean tree\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-json printed summaries on stderr:\n%s", stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("-json emitted nothing; the tree has suppressed findings to report")
+	}
+	sawLockhold := false
+	for _, line := range lines {
+		var f struct {
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Check      string `json:"check"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+			Reason     string `json:"reason"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not a JSON object: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("object missing fields: %q", line)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("file %q not module-relative", f.File)
+		}
+		if !f.Suppressed || f.Reason == "" {
+			t.Errorf("clean tree emitted an unsuppressed or reasonless finding: %q", line)
+		}
+		if f.Check == "lockhold" {
+			sawLockhold = true
+		}
+	}
+	if !sawLockhold {
+		t.Error("JSON stream missing the tree's lockhold suppressions")
+	}
+}
+
+// TestRunGitHub checks the annotation mode on a seeded-violation fixture
+// tree (the lockhold bad fixture copied into a scratch module), since the
+// real tree is clean and -github only emits unsuppressed findings.
+func TestRunGitHub(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module lint is slow; run without -short")
+	}
+	src, err := os.ReadFile("../../internal/analysis/testdata/src/lockhold/bad/bad.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "store"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.ReplaceAll(string(src), "package bad", "package store")
+	if err := os.WriteFile(filepath.Join(root, "store", "store.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", root, "-github", "-checks", "lockhold"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d on seeded violations, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("-github emitted no annotations for seeded violations")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=store/store.go,line=") {
+			t.Errorf("annotation not in workflow-command form: %q", line)
+		}
+		if !strings.Contains(line, "title=fdetalint(lockhold)::") {
+			t.Errorf("annotation missing check title: %q", line)
+		}
+		if strings.Contains(strings.SplitN(line, "::", 3)[2], "\n") {
+			t.Errorf("unescaped newline in message: %q", line)
 		}
 	}
 }

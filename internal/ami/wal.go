@@ -399,6 +399,7 @@ func (w *shardWAL) Append(meterID string, rs []BatchReading, enqueue func(), com
 		return fmt.Errorf("ami: wal: %w", ErrClosed)
 	}
 	w.buf = encodeWALRecord(w.buf[:0], meterID, rs)
+	//lint:ignore lockhold append-before-ack is the durability contract: the record must hit the segment under the append lock so log order equals queue order
 	if _, err := w.f.Write(w.buf); err != nil {
 		w.ins.errors.Inc()
 		return fmt.Errorf("ami: wal append: %w", err)
@@ -433,6 +434,7 @@ func (w *shardWAL) Append(meterID string, rs []BatchReading, enqueue func(), com
 	// Order matters: this record's ingest job must be on the queue before
 	// the compact job, or the snapshot covering its (just-sealed) segment
 	// would be taken before the record reached the store.
+	//lint:ignore lockhold enqueue must run under the append lock so log order and queue order agree; the callback is the shard's own bounded enqueue, drained without this lock
 	enqueue()
 	w.safeCover.Store(w.seq - 1)
 	if needCompact {
@@ -500,6 +502,7 @@ func (w *shardWAL) SyncIfDirty() error {
 		return nil
 	}
 	start := time.Now()
+	//lint:ignore lockhold the interval fsync must exclude appends and rotation or it could sync a half-written record on a swapped file handle
 	if err := w.f.Sync(); err != nil {
 		w.dirty.Store(true)
 		w.ins.errors.Inc()
@@ -588,6 +591,7 @@ func (w *shardWAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	//lint:ignore lockhold the final sync-and-close must exclude in-flight appends; after it the closed flag makes every later append fail fast
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

@@ -57,6 +57,9 @@ func Analyzers() []*Analyzer {
 		newFloatCmp(),
 		newGoroutines(),
 		newWrapCheck(),
+		newLockhold(),
+		newChanbound(),
+		newBlockctx(),
 	}
 }
 

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// chanbound enforces explicit capacity decisions on channels and timers:
+//
+//   - every `make(chan T)` must state a capacity. An unbuffered channel is
+//     a rendezvous — the sender parks until a receiver arrives — which is
+//     how the PR-7 shard queues and PR-9 worker queues apply backpressure
+//     *by design*, with a chosen bound. Writing the capacity (including an
+//     explicit 0 for a deliberate rendezvous) makes that choice visible at
+//     the make site. Close-only signal channels (`chan struct{}`) are
+//     exempt: their idiom is close-to-broadcast and a capacity would be
+//     noise.
+//   - `time.After`/`time.Tick` are banned inside loop bodies: each call
+//     allocates a timer that fires on its own schedule, so a hot loop
+//     leaks timers until they expire (and time.Tick's never do). Hoist a
+//     time.NewTimer/NewTicker outside the loop and reuse it.
+func newChanbound() *Analyzer {
+	return &Analyzer{
+		Name: "chanbound",
+		Doc:  "make(chan T) needs an explicit capacity; time.After/Tick banned in loops",
+		Applies: func(mod *Module, pkg *Package) bool {
+			return true
+		},
+		Run: runChanbound,
+	}
+}
+
+func runChanbound(mod *Module, pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, file := range pkg.Files {
+		walkChanbound(pkg.Info, file, 0, report)
+	}
+}
+
+// walkChanbound recurses with an explicit loop depth so timer calls know
+// whether they execute per iteration.
+func walkChanbound(info *types.Info, n ast.Node, loopDepth int, report func(pos token.Pos, msg string)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			walkChanbound(info, n.Body, loopDepth+1, report)
+			if n.Init != nil {
+				walkChanbound(info, n.Init, loopDepth, report)
+			}
+			if n.Cond != nil {
+				walkChanbound(info, n.Cond, loopDepth+1, report)
+			}
+			if n.Post != nil {
+				walkChanbound(info, n.Post, loopDepth+1, report)
+			}
+			return false
+		case *ast.RangeStmt:
+			// The range expression evaluates once, outside the loop.
+			walkChanbound(info, n.X, loopDepth, report)
+			walkChanbound(info, n.Body, loopDepth+1, report)
+			return false
+		case *ast.CallExpr:
+			checkChanboundCall(info, n, loopDepth, report)
+		}
+		return true
+	})
+}
+
+func checkChanboundCall(info *types.Info, call *ast.CallExpr, loopDepth int, report func(pos token.Pos, msg string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+			if t := info.TypeOf(call); t != nil {
+				if ch, ok := t.Underlying().(*types.Chan); ok && !isEmptyStruct(ch.Elem()) {
+					elem := types.TypeString(ch.Elem(), func(p *types.Package) string { return p.Name() })
+					report(call.Lparen, fmt.Sprintf(
+						"make(chan %s) without an explicit capacity: a silent rendezvous hides the backpressure decision — state the bound (0 for a deliberate rendezvous) or suppress with the reasoning",
+						elem))
+				}
+			}
+		}
+		return
+	}
+	if loopDepth == 0 {
+		return
+	}
+	fn := calleeOf(info, call)
+	for _, name := range []string{"After", "Tick"} {
+		if isPkgFunc(fn, "time", name) {
+			report(call.Lparen, fmt.Sprintf(
+				"time.%s inside a loop allocates a timer every iteration; hoist a time.NewTimer/NewTicker outside the loop and reuse it", name))
+		}
+	}
+}
+
+// isEmptyStruct reports whether t is struct{} — the close-only signal
+// channel element type.
+func isEmptyStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

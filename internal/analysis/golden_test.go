@@ -99,7 +99,8 @@ func extractWants(pkg *Package) []want {
 }
 
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"determinism", "metricnames", "floatcmp", "goroutines", "wrapcheck"} {
+	for _, name := range []string{"determinism", "metricnames", "floatcmp", "goroutines", "wrapcheck",
+		"lockhold", "chanbound", "blockctx"} {
 		t.Run(name, func(t *testing.T) {
 			t.Run("bad", func(t *testing.T) {
 				mod, pkg := goldenLoad(t, name+"/bad")

@@ -1,0 +1,497 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockhold enforces the sink/SSE contract the concurrent tiers rely on:
+// nothing that can block — channel operations, net/file/stream IO, sleeps,
+// waits — and no caller-supplied callback may execute while a sync.Mutex
+// or sync.RWMutex is held. A blocked lock holder stalls every contender:
+// in the head-end that is every session parked on a shard store, in serve
+// it is the whole per-consumer observation path. The accepted-reading sink
+// (ami.WithSink) documents this contract in prose; lockhold makes the
+// machine hold it.
+//
+// The walk is a sequential source-order approximation of lock state:
+//   - X.Lock()/X.RLock() marks the lock named by the receiver expression
+//     held; X.Unlock()/X.RUnlock() releases it,
+//   - `defer X.Unlock()` leaves the lock held for the rest of the scope
+//     (which is exactly the dynamic truth),
+//   - if/else branches are walked with cloned state; a branch ending in
+//     return/break/continue does not leak its lock changes past the
+//     statement, and surviving branches are intersected (a lock must be
+//     held on every path to be blamed),
+//   - a select with a default clause is non-blocking, and its case bodies
+//     are still walked under the current lock state,
+//   - `go` and `defer` function literals run outside the walked critical
+//     section, so each is checked as an independent scope with no locks
+//     held; literals invoked where they are defined are walked inline.
+//
+// Findings deduplicate to the first site per (scope, lock, op kind): one
+// critical section with five file writes is one design decision, not five.
+func newLockhold() *Analyzer {
+	return &Analyzer{
+		Name: "lockhold",
+		Doc:  "no blocking op, IO, or caller-supplied callback while a mutex is held",
+		Applies: func(mod *Module, pkg *Package) bool {
+			return true
+		},
+		Run: runLockhold,
+	}
+}
+
+func runLockhold(mod *Module, pkg *Package, report func(pos token.Pos, msg string)) {
+	cs := mod.Summaries()
+	for _, file := range pkg.Files {
+		// Collect every function literal up front; the decl walks mark the
+		// ones they reach (inline, go, defer) and the sweep below checks
+		// escaping literals — sink closures, stored handlers — as their own
+		// scopes.
+		var lits []*ast.FuncLit
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+			return true
+		})
+		walked := make(map[*ast.FuncLit]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pkg: pkg, cs: cs, fset: mod.Fset, report: report, walked: walked}
+			w.walkScope(fd.Body)
+		}
+		for _, lit := range lits {
+			if walked[lit] {
+				continue
+			}
+			walked[lit] = true
+			w := &lockWalker{pkg: pkg, cs: cs, fset: mod.Fset, report: report, walked: walked}
+			w.walkScope(lit.Body)
+		}
+	}
+}
+
+// heldLock is one acquired mutex in the walker's state.
+type heldLock struct {
+	pos   token.Pos // acquisition site
+	rlock bool
+	n     int // recursive RLock depth
+	seq   int // acquisition order; the newest lock gets the blame
+}
+
+// lockState maps a lock's receiver expression ("s.mu") to its hold info.
+type lockState map[string]heldLock
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only locks held on both paths, at the shallower depth.
+func (s lockState) intersect(o lockState) lockState {
+	out := make(lockState)
+	for k, v := range s {
+		if ov, ok := o[k]; ok {
+			if ov.n < v.n {
+				v = ov
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockWalker carries one scope's walk: a function body analyzed in source
+// order with mutable lock state.
+type lockWalker struct {
+	pkg    *Package
+	cs     *callSummaries
+	fset   *token.FileSet
+	report func(pos token.Pos, msg string)
+	walked map[*ast.FuncLit]bool
+
+	held     lockState
+	seq      int
+	reported map[string]bool // lockKey + kind, first finding wins
+}
+
+func (w *lockWalker) walkScope(body *ast.BlockStmt) {
+	w.held = make(lockState)
+	w.reported = make(map[string]bool)
+	w.walkStmts(body.List)
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.ExprStmt:
+		w.walkExpr(s.X)
+	case *ast.SendStmt:
+		w.violate(s.Arrow, opChan, "channel send")
+		w.walkExpr(s.Chan)
+		w.walkExpr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.walkExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkBranches(s.Body, s.Else)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Cond)
+		w.walkStmts(s.Body.List)
+		w.walkStmt(s.Post)
+	case *ast.RangeStmt:
+		if t := w.pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.violate(s.For, opChan, "range over a channel")
+			}
+		}
+		w.walkExpr(s.X)
+		w.walkStmts(s.Body.List)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.violate(s.Select, opChan, "select with no default clause")
+		}
+		// Comm headers are covered by the verdict above (or non-blocking
+		// when a default exists); the case bodies run under the same locks.
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkExpr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.walkExpr(e)
+				}
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine does not block its spawner; its body is a fresh
+		// scope (it shares no lock *ownership* with the caller).
+		w.walkArgs(s.Call)
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.freshScope(lit)
+		}
+	case *ast.DeferStmt:
+		// Deferred calls run at return, when the walked lock state no
+		// longer applies. Deferred unlocks keep the lock held for the rest
+		// of the scope — exactly the dynamic behavior. Other deferred work
+		// is checked as its own scope.
+		if key, locks, _, ok := mutexOp(w.pkg.Info, s.Call); ok && !locks {
+			// defer X.Unlock(): intentionally nothing — held to scope end.
+			_ = key
+		} else {
+			w.walkArgs(s.Call)
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				w.freshScope(lit)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		w.walkExpr(s.X)
+	}
+}
+
+// walkBranches analyzes if/else with cloned lock state so an early-return
+// branch ("if closed { mu.Unlock(); return }") does not leak its unlock
+// into the fallthrough path.
+func (w *lockWalker) walkBranches(body *ast.BlockStmt, els ast.Stmt) {
+	saved := w.held
+	bodyState := saved.clone()
+	w.held = bodyState
+	w.walkStmts(body.List)
+	bodyState = w.held
+	bodyTerm := terminates(body)
+
+	elseState := saved.clone()
+	elseTerm := false
+	if els != nil {
+		w.held = elseState
+		w.walkStmt(els)
+		elseState = w.held
+		elseTerm = stmtTerminates(els)
+	}
+	switch {
+	case bodyTerm && elseTerm:
+		w.held = saved
+	case bodyTerm:
+		w.held = elseState
+	case elseTerm:
+		w.held = bodyState
+	default:
+		w.held = bodyState.intersect(elseState)
+	}
+}
+
+// terminates reports whether a block's last statement leaves the scope.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.walkCall(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			w.violate(e.OpPos, opChan, "channel receive")
+		}
+		w.walkExpr(e.X)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Y)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Index)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X)
+		w.walkExpr(e.Low)
+		w.walkExpr(e.High)
+		w.walkExpr(e.Max)
+	case *ast.StarExpr:
+		w.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.walkExpr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Key)
+		w.walkExpr(e.Value)
+	case *ast.FuncLit:
+		// Escaping literal: checked by the file sweep as its own scope.
+	}
+}
+
+func (w *lockWalker) walkArgs(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+}
+
+// walkCall handles the four call shapes: mutex ops mutate lock state,
+// inline literals are walked under the current state, static callees are
+// judged by their transitive summaries, and remaining func-typed values
+// are caller-supplied callbacks.
+func (w *lockWalker) walkCall(call *ast.CallExpr) {
+	info := w.pkg.Info
+	if key, locks, rlock, ok := mutexOp(info, call); ok {
+		if locks {
+			h := w.held[key]
+			w.seq++
+			w.held[key] = heldLock{pos: call.Lparen, rlock: rlock, n: h.n + 1, seq: w.seq}
+		} else {
+			h, held := w.held[key]
+			if held {
+				if h.n <= 1 {
+					delete(w.held, key)
+				} else {
+					h.n--
+					w.held[key] = h
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.walkExpr(sel.X)
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Invoked where defined: runs here, under these locks.
+		w.walked[lit] = true
+		w.walkArgs(call)
+		w.walkStmts(lit.Body.List)
+		return
+	}
+	if fn := calleeOf(info, call); fn != nil {
+		if k, what, ok := classifyStdlibCall(fn); ok {
+			if lockholdBanned.has(k) {
+				w.violate(call.Lparen, k, what+" ("+k.String()+")")
+			}
+		} else if sum := w.cs.Lookup(fn); sum != nil {
+			if k, ok := sum.firstKind(lockholdBanned); ok {
+				w.violate(call.Lparen, k,
+					fmt.Sprintf("call to %s, which %s (%s)", funcDisplayName(fn), sum.Explain(k), k))
+			}
+		}
+		w.walkArgs(call)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.walkExpr(sel.X)
+		}
+		return
+	}
+	// Builtin, conversion, or func value.
+	switch calleeObject(info, ast.Unparen(call.Fun)).(type) {
+	case *types.Builtin, *types.TypeName, *types.Nil:
+		w.walkArgs(call)
+		return
+	}
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		w.walkArgs(call)
+		return
+	}
+	if t := info.TypeOf(call.Fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			w.violate(call.Lparen, opCallback,
+				fmt.Sprintf("caller-supplied func %s invoked", types.ExprString(ast.Unparen(call.Fun))))
+		}
+	}
+	w.walkArgs(call)
+}
+
+// freshScope checks a go/defer literal as an independent function: no
+// caller locks are owned by it, but locks it takes itself are enforced.
+func (w *lockWalker) freshScope(lit *ast.FuncLit) {
+	w.walked[lit] = true
+	sub := &lockWalker{pkg: w.pkg, cs: w.cs, fset: w.fset, report: w.report, walked: w.walked}
+	sub.walkScope(lit.Body)
+}
+
+// violate reports one banned operation under the newest held lock,
+// deduplicated per (lock, kind) within the scope.
+func (w *lockWalker) violate(pos token.Pos, k opKind, desc string) {
+	if len(w.held) == 0 {
+		return
+	}
+	blameKey := ""
+	blame := heldLock{seq: -1}
+	for key, h := range w.held {
+		if h.seq > blame.seq {
+			blameKey, blame = key, h
+		}
+	}
+	dedup := fmt.Sprintf("%s|%d", blameKey, k)
+	if w.reported[dedup] {
+		return
+	}
+	w.reported[dedup] = true
+	verb := "Lock"
+	if blame.rlock {
+		verb = "RLock"
+	}
+	acq := w.fset.Position(blame.pos)
+	w.report(pos, fmt.Sprintf(
+		"%s while %s is held (%s at %s:%d); blocking ops, IO, and callbacks stall every contender — move this outside the critical section",
+		desc, blameKey, verb, shortBase(acq.Filename), acq.Line))
+}
+
+// shortBase trims a path to its final element for in-message positions.
+func shortBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// mutexOp classifies X.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex.
+// key is the receiver expression's source text ("s.mu"); locks is true for
+// acquisition, rlock for the read forms.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, locks, rlock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", false, false, false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock":
+		if !isMethodOn(fn, "sync", "Mutex", name) && !isMethodOn(fn, "sync", "RWMutex", name) {
+			return "", false, false, false
+		}
+	case "RLock", "RUnlock":
+		if !isMethodOn(fn, "sync", "RWMutex", name) {
+			return "", false, false, false
+		}
+	default:
+		return "", false, false, false
+	}
+	return types.ExprString(sel.X), name == "Lock" || name == "RLock", name[0] == 'R', true
+}

@@ -52,6 +52,8 @@ type Module struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+	// summaries is the lazily built call-summary index (Summaries).
+	summaries *callSummaries
 }
 
 // Lookup returns the loaded package with the given import path, or nil.
@@ -149,6 +151,13 @@ func (l *loader) parseDir(path, dir string) (*Package, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		// Honor build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes): a file excluded from the build is excluded from the
+		// analysis — type-checking it against the included files would only
+		// manufacture false redeclaration errors.
+		if match, merr := build.Default.MatchFile(dir, name); merr == nil && !match {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -161,6 +170,9 @@ func (l *loader) parseDir(path, dir string) (*Package, error) {
 		src, err := os.ReadFile(full)
 		if err != nil {
 			return nil, fmt.Errorf("reading %s: %w", full, err)
+		}
+		if isGeneratedFile(src) {
+			continue // machine-written; its style is the generator's problem
 		}
 		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -175,7 +187,25 @@ func (l *loader) parseDir(path, dir string) (*Package, error) {
 		pkg.Files = append(pkg.Files, f)
 		pkg.Source[full] = src
 	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("%w in %s", errNoGoFiles, dir)
+	}
 	return pkg, nil
+}
+
+// isGeneratedFile implements the Go convention for generated code: a line
+// `// Code generated <tool> DO NOT EDIT.` before the package clause.
+func isGeneratedFile(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if strings.HasPrefix(line, "// Code generated ") && strings.HasSuffix(line, " DO NOT EDIT.") {
+			return true
+		}
+	}
+	return false
 }
 
 // typeCheck runs go/types over a parsed package, collecting (not aborting
@@ -307,6 +337,9 @@ func LoadModule(dir string) (*Module, error) {
 		}
 		pkg, err := l.load(path)
 		if err != nil {
+			if errors.Is(err, errNoGoFiles) {
+				continue // every file excluded by build tags or generated
+			}
 			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}
 		mod.Pkgs = append(mod.Pkgs, pkg)

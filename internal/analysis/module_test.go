@@ -153,3 +153,128 @@ func TestModuleClean(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadModuleBuildTags(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.24\n",
+		"lib/lib.go": "package lib\n\n// V is the buildable half of the package.\nvar V = 1\n",
+		// Excluded by its constraint; redeclares V with a different type, so
+		// type-checking it alongside lib.go would fail.
+		"lib/ignored.go": "//go:build ignore\n\npackage lib\n\nvar V = \"tool entry point\"\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v (constrained-out files must be skipped)", err)
+	}
+	pkg := mod.Lookup("scratch/lib")
+	if pkg == nil {
+		t.Fatal("scratch/lib not loaded")
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("constrained-out file leaked into the type-check: %v", pkg.TypeErrors[0])
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (ignored.go excluded)", len(pkg.Files))
+	}
+}
+
+func TestLoadModuleGeneratedFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.24\n",
+		"lib/lib.go": "package lib\n\nvar V = 1\n",
+		// Carries a seeded violation (an unbuffered make) that must never be
+		// reported: generated code answers to its generator, not the suite.
+		"lib/gen.go": "// Code generated by scratchgen. DO NOT EDIT.\n\npackage lib\n\n" +
+			"// Q is a generated queue.\nvar Q = make(chan int)\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	pkg := mod.Lookup("scratch/lib")
+	if pkg == nil {
+		t.Fatal("scratch/lib not loaded")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (gen.go skipped as generated)", len(pkg.Files))
+	}
+	res := Run(mod, Analyzers())
+	for _, f := range res.Findings {
+		t.Errorf("finding inside a generated file: %s", f)
+	}
+}
+
+func TestLoadModuleAllFilesExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.24\n",
+		"lib/lib.go": "package lib\n\nvar V = 1\n",
+		// A directory whose only .go file is constrained out must vanish
+		// from the load, not abort it.
+		"tools/gen.go": "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v (fully excluded directories must be skipped)", err)
+	}
+	if mod.Lookup("scratch/tools") != nil {
+		t.Fatal("fully excluded directory still loaded as a package")
+	}
+	if mod.Lookup("scratch/lib") == nil {
+		t.Fatal("scratch/lib not loaded")
+	}
+}
+
+func TestIsGeneratedFile(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"marker before package", "// Code generated by stringer. DO NOT EDIT.\n\npackage x\n", true},
+		{"no marker", "// Package x is handwritten.\npackage x\n", false},
+		{"marker after package clause", "package x\n\n// Code generated by stringer. DO NOT EDIT.\n", false},
+		{"marker without suffix", "// Code generated by hand, feel free to edit\npackage x\n", false},
+		{"crlf line endings", "// Code generated by stringer. DO NOT EDIT.\r\npackage x\r\n", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := isGeneratedFile([]byte(tc.src)); got != tc.want {
+				t.Errorf("isGeneratedFile = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSummariesSkipTypeErrorPackages pins the engine's safety on partial
+// type info: a module with a broken package still yields a summary index,
+// holding entries only for the healthy packages.
+func TestSummariesSkipTypeErrorPackages(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.24\n",
+		"ok/ok.go":   "package ok\n\n// Send forwards v.\nfunc Send(ch chan int, v int) { ch <- v }\n",
+		"bad/bad.go": "package bad\n\nfunc Broken() int { return \"not an int\" }\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cs := mod.Summaries()
+	var okSummaries, badSummaries int
+	for _, fs := range cs.ordered {
+		switch fs.Pkg.Path {
+		case "scratch/ok":
+			okSummaries++
+			if !fs.Can(maskOf(opChan)) {
+				t.Errorf("%s not marked as a channel op", fs.Fn.Name())
+			}
+		case "scratch/bad":
+			badSummaries++
+		}
+	}
+	if okSummaries != 1 {
+		t.Errorf("healthy package yielded %d summaries, want 1", okSummaries)
+	}
+	if badSummaries != 0 {
+		t.Errorf("type-error package yielded %d summaries, want 0", badSummaries)
+	}
+}

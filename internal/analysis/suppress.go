@@ -60,8 +60,18 @@ func ParseDirective(text string) (checks []string, reason string, ok bool, err e
 	if reason == "" {
 		return nil, "", true, fmt.Errorf("missing reason after check %q", fields[0])
 	}
+	// A real justification names the invariant and why it holds here; one
+	// or two words ("ok", "known issue") is a label, not a reason.
+	if len(fields)-1 < minReasonWords {
+		return nil, "", true, fmt.Errorf(
+			"reason %q has %d words, need >= %d: explain why the invariant holds anyway",
+			reason, len(fields)-1, minReasonWords)
+	}
 	return checks, reason, true, nil
 }
+
+// minReasonWords is the floor on a suppression reason's word count.
+const minReasonWords = 3
 
 // suppressionIndex resolves findings against the module's directives.
 type suppressionIndex struct {

@@ -1,0 +1,46 @@
+// Package bad seeds blocking exported entry points with no way for the
+// caller to bound the wait.
+package bad
+
+import (
+	"sync"
+	"time"
+)
+
+// Hub fans jobs out to a worker pool.
+type Hub struct {
+	mu   sync.Mutex
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// Submit parks forever when every worker is busy.
+func (h *Hub) Submit(job int) { // want "accepts no context.Context or deadline"
+	h.jobs <- job
+}
+
+// Drain joins the worker pool with no bound on the wait.
+func (h *Hub) Drain() { // want "accepts no context.Context or deadline"
+	h.wg.Wait()
+}
+
+// Await blocks on a caller channel transitively, through recv.
+func Await(done chan struct{}) { // want "accepts no context.Context or deadline"
+	recv(done)
+}
+
+func recv(done chan struct{}) {
+	<-done
+}
+
+// Retry sleeps between attempts with nothing able to cancel the schedule.
+func Retry(attempts int, f func() error) error { // want "accepts no context.Context or deadline"
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return err
+}

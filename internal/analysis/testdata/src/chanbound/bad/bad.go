@@ -1,0 +1,39 @@
+// Package bad seeds unbounded-channel and timer-in-loop violations for
+// the golden test.
+package bad
+
+import "time"
+
+type event struct{ id int }
+
+// Pipeline wires workers through silent rendezvous channels: nothing at
+// the make site says whether the senders are allowed to park.
+func Pipeline(n int) (chan int, chan event) {
+	work := make(chan int)  // want "without an explicit capacity"
+	out := make(chan event) // want "without an explicit capacity"
+	_ = n
+	return work, out
+}
+
+// Poll allocates a fresh timer every spin; each one lives until it fires.
+func Poll(stop chan struct{}) int {
+	polls := 0
+	for {
+		select {
+		case <-stop:
+			return polls
+		case <-time.After(50 * time.Millisecond): // want "inside a loop"
+			polls++
+		}
+	}
+}
+
+// Meter leaks one ticker per reading: time.Tick's timers never stop.
+func Meter(readings []float64) float64 {
+	total := 0.0
+	for _, r := range readings {
+		<-time.Tick(time.Millisecond) // want "inside a loop"
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,45 @@
+// Package good holds the fixed forms of the chanbound fixture: every
+// capacity is stated, every timer is hoisted.
+package good
+
+import "time"
+
+type event struct{ id int }
+
+// Pipeline bounds each queue explicitly; zero spells out a deliberate
+// rendezvous.
+func Pipeline(n int) (chan int, chan event) {
+	work := make(chan int, n)
+	out := make(chan event, 0)
+	return work, out
+}
+
+// Signal channels carry no data; close-to-broadcast needs no capacity.
+func Signal() chan struct{} {
+	return make(chan struct{})
+}
+
+// Poll reuses one ticker across the whole loop.
+func Poll(stop chan struct{}) int {
+	polls := 0
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return polls
+		case <-tick.C:
+			polls++
+		}
+	}
+}
+
+// Deadline uses time.After outside any loop: one timer, bounded life.
+func Deadline(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}

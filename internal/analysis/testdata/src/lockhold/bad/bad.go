@@ -1,0 +1,71 @@
+// Package bad seeds blocking-under-lock violations for the golden test,
+// reproducing the callback-under-lock shape the ami head-end's sink
+// contract exists to prevent: a shard store invoking its accepted-reading
+// sink while still holding the shard mutex.
+package bad
+
+import (
+	"os"
+	"sync"
+)
+
+// Reading mirrors one accepted meter reading.
+type Reading struct {
+	Slot int64
+	KW   float64
+}
+
+// Store is a shard store with a caller-supplied accepted-reading sink —
+// the exact shape ami.WithSink documents must run outside the lock.
+type Store struct {
+	mu       sync.RWMutex
+	readings map[string][]Reading
+	sink     func(meterID string, rs []Reading)
+	jobs     chan Reading
+	log      *os.File
+	alerts   chan string
+}
+
+// ApplyBad invokes the sink while holding the store lock: a slow sink
+// stalls every session parked on this shard.
+func (s *Store) ApplyBad(meterID string, rs []Reading) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readings[meterID] = append(s.readings[meterID], rs...)
+	s.sink(meterID, rs) // want "while s.mu is held"
+}
+
+// EnqueueBad sends on the job queue under a read lock.
+func (s *Store) EnqueueBad(r Reading) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.jobs <- r // want "while s.mu is held"
+}
+
+// LogBad writes the log file inside the critical section.
+func (s *Store) LogBad(line string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.log.Write([]byte(line)) // want "while s.mu is held"
+	return err
+}
+
+// AlertBad reaches a channel send transitively, through emit — the
+// interprocedural case a single-function checker cannot see.
+func (s *Store) AlertBad(meterID string) {
+	s.mu.Lock()
+	s.emit(meterID) // want "while s.mu is held"
+	s.mu.Unlock()
+}
+
+// emit is clean on its own; the bug is calling it under the lock.
+func (s *Store) emit(meterID string) {
+	s.alerts <- meterID
+}
+
+// WaitBad receives under a read lock.
+func (s *Store) WaitBad(done chan struct{}) {
+	s.mu.RLock()
+	<-done // want "while s.mu is held"
+	s.mu.RUnlock()
+}

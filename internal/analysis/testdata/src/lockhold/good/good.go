@@ -1,0 +1,77 @@
+// Package good holds the fixed forms of the lockhold fixture: every
+// blocking op, IO call, and callback runs outside the critical section.
+package good
+
+import (
+	"os"
+	"sync"
+)
+
+// Reading mirrors one accepted meter reading.
+type Reading struct {
+	Slot int64
+	KW   float64
+}
+
+// Store is the same shard-store shape as the bad fixture.
+type Store struct {
+	mu       sync.RWMutex
+	readings map[string][]Reading
+	sink     func(meterID string, rs []Reading)
+	jobs     chan Reading
+	log      *os.File
+	alerts   chan string
+}
+
+// Apply mutates under the lock and invokes the sink after releasing it —
+// the ami.WithSink contract.
+func (s *Store) Apply(meterID string, rs []Reading) {
+	s.mu.Lock()
+	s.readings[meterID] = append(s.readings[meterID], rs...)
+	s.mu.Unlock()
+	s.sink(meterID, rs)
+}
+
+// TryEnqueue uses a select with a default: a full queue drops, the lock
+// holder never parks.
+func (s *Store) TryEnqueue(r Reading) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	select {
+	case s.jobs <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// Log snapshots the state under the lock and writes after.
+func (s *Store) Log(line string) error {
+	s.mu.Lock()
+	n := len(s.readings)
+	s.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	_, err := s.log.Write([]byte(line))
+	return err
+}
+
+// Alert hands delivery to a goroutine, which owns no caller lock.
+func (s *Store) Alert(meterID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.alerts <- meterID }()
+}
+
+// Drain releases on the early-return path before it would block — the
+// branch-sensitive case.
+func (s *Store) Drain(done chan struct{}) {
+	s.mu.RLock()
+	if len(s.readings) == 0 {
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	<-done
+}

@@ -373,7 +373,9 @@ func SelectOrder(y []float64, candidates []Order) (*Model, error) {
 		}
 	} else {
 		var wg sync.WaitGroup
-		next := make(chan int)
+		// Buffered to the full work list: the feeder never parks, so worker
+		// scheduling is the only concurrency in play.
+		next := make(chan int, len(candidates))
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {

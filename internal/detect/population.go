@@ -249,7 +249,9 @@ func (t *PopulationTrainer) runPhase(pop *timeseries.PopulationMatrix, indices [
 	if workers > len(indices) {
 		workers = len(indices)
 	}
-	work := make(chan int)
+	// Buffered to the full index list: the feeder enqueues everything
+	// without parking, then the workers drain at their own pace.
+	work := make(chan int, len(indices))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -119,6 +119,7 @@ func (cp *checkpointer) record(ce consumerEval) error {
 	sort.Slice(cp.file.Done, func(i, j int) bool {
 		return cp.file.Done[i].ConsumerID < cp.file.Done[j].ConsumerID
 	})
+	//lint:ignore lockhold the tmp+rename rewrite must serialize with other recorders or two flushes would interleave on the same tmp pattern; contenders are a handful of trainer workers, not a hot path
 	return cp.flushLocked()
 }
 

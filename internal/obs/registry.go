@@ -215,6 +215,7 @@ func (r *Registry) lookup(name, help string, kind instrumentKind, labels []Label
 		}
 		return e
 	}
+	//lint:ignore lockhold mk is a package-private allocation closure (a few words of memory, no IO), and get-or-create must be atomic under r.mu
 	e := mk()
 	e.name, e.help, e.labels, e.kind = name, help, labels, kind
 	r.entries[k] = e

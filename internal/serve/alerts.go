@@ -190,6 +190,7 @@ func (l *jsonlLog) write(e AlertEvent) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//lint:ignore lockhold one Encoder means one writer: the lock exists precisely to serialize appends, and only alert deliveries (already off the detection path) contend on it
 	return l.enc.Encode(e)
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -270,6 +271,7 @@ func (s *Server) Sink() ami.ReadingSink {
 		owned := make([]ami.BatchReading, len(readings))
 		copy(owned, readings)
 		s.met.queueDepth.Add(1)
+		//lint:ignore lockhold the send under sinkMu.RLock is the backpressure contract: a full queue parks the head-end shard worker, and the workers drain without taking sinkMu, so the send always unblocks
 		s.queues[workerIndex(meterID, len(s.queues))] <- job{meterID: meterID, readings: owned}
 	}
 }
@@ -299,6 +301,12 @@ func (s *Server) worker(q chan job) {
 }
 
 // process observes one job's readings against its consumer's stream.
+// Alert events are built under the consumer's lock (they read streak and
+// tier state) but delivered after it is released: the ring buffer, JSONL
+// log, and SSE hub are shared sinks, and a slow one must stall only this
+// job, never every worker parked on this consumer — the same
+// outside-the-lock contract the head-end sink documents, here enforced by
+// the lockhold analyzer.
 func (s *Server) process(j job) {
 	s.mu.RLock()
 	c := s.consumers[j.meterID]
@@ -308,16 +316,19 @@ func (s *Server) process(j job) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var events []AlertEvent
 	for _, r := range j.readings {
-		s.observeOne(c, r)
+		s.observeOne(c, r, &events)
 	}
+	c.mu.Unlock()
+	s.deliver(events)
 }
 
 // observeOne advances one consumer's stream by one accepted reading,
 // filling any slot gap with missing-status observations first. Callers
-// hold c.mu.
-func (s *Server) observeOne(c *consumer, r ami.BatchReading) {
+// hold c.mu; alert events are appended to pending for delivery after the
+// lock is released.
+func (s *Server) observeOne(c *consumer, r ami.BatchReading, pending *[]AlertEvent) {
 	if r.Slot < c.nextSlot {
 		// Duplicate or regressed slot: the window has moved past it.
 		c.stale++
@@ -336,7 +347,7 @@ func (s *Server) observeOne(c *consumer, r ami.BatchReading) {
 			c.missing++
 			s.met.missingObs.Inc()
 			if err == nil {
-				s.judge(c, r.Slot-fill+i, v)
+				s.judge(c, r.Slot-fill+i, v, pending)
 			}
 		}
 	}
@@ -351,12 +362,12 @@ func (s *Server) observeOne(c *consumer, r ami.BatchReading) {
 	}
 	c.observed++
 	s.met.okObs.Inc()
-	s.judge(c, r.Slot, v)
+	s.judge(c, r.Slot, v, pending)
 }
 
-// judge folds one verdict into the consumer's alert state, emitting an
-// event on tier transitions. Callers hold c.mu.
-func (s *Server) judge(c *consumer, slot int64, v detect.Verdict) {
+// judge folds one verdict into the consumer's alert state, appending an
+// event to pending on tier transitions. Callers hold c.mu.
+func (s *Server) judge(c *consumer, slot int64, v detect.Verdict, pending *[]AlertEvent) {
 	switch {
 	case v.Inconclusive:
 		// Coverage too low for a definite answer. The streak is preserved:
@@ -377,7 +388,7 @@ func (s *Server) judge(c *consumer, slot int64, v detect.Verdict) {
 		if next := s.policy.tier(int(c.streak), ratio); next > c.tier {
 			c.tier = next
 			c.alerts++
-			s.emit(c, slot, v, ratio, next.String())
+			*pending = append(*pending, s.newEvent(c, slot, v, ratio, next.String()))
 		}
 	default:
 		s.met.vNormal.Inc()
@@ -385,15 +396,15 @@ func (s *Server) judge(c *consumer, slot int64, v detect.Verdict) {
 		c.streak = 0
 		if c.tier != TierNone {
 			c.tier = TierNone
-			s.emit(c, slot, v, 0, tierCleared)
+			*pending = append(*pending, s.newEvent(c, slot, v, 0, tierCleared))
 		}
 	}
 }
 
-// emit records one alert event on every output: counter, ring buffer,
-// JSONL log, SSE subscribers. Callers hold c.mu.
-func (s *Server) emit(c *consumer, slot int64, v detect.Verdict, ratio float64, tier string) {
-	e := AlertEvent{
+// newEvent builds one alert event from the consumer's current state.
+// Callers hold c.mu; delivery happens later, via deliver.
+func (s *Server) newEvent(c *consumer, slot int64, v detect.Verdict, ratio float64, tier string) AlertEvent {
+	return AlertEvent{
 		Seq:       s.seq.Add(1),
 		Time:      s.clock.Now().UTC(),
 		Consumer:  c.id,
@@ -406,13 +417,20 @@ func (s *Server) emit(c *consumer, slot int64, v detect.Verdict, ratio float64, 
 		Detector:  c.stream.Name(),
 		Reason:    v.Reason,
 	}
-	s.met.countAlert(tier)
-	s.ring.add(e)
-	if err := s.alertLog.write(e); err != nil {
-		s.log.Error("alert log append failed", "err", err)
-	}
-	if b, err := json.Marshal(e); err == nil {
-		s.hub.broadcast(b)
+}
+
+// deliver records alert events on every output: counter, ring buffer,
+// JSONL log, SSE subscribers. Runs with no locks held.
+func (s *Server) deliver(events []AlertEvent) {
+	for _, e := range events {
+		s.met.countAlert(e.Tier)
+		s.ring.add(e)
+		if err := s.alertLog.write(e); err != nil {
+			s.log.Error("alert log append failed", "err", err)
+		}
+		if b, err := json.Marshal(e); err == nil {
+			s.hub.broadcast(b)
+		}
 	}
 }
 
@@ -422,23 +440,41 @@ func (s *Server) Alerts(n int) []AlertEvent { return s.ring.recent(n) }
 
 // Flush blocks until every reading delivered to the sink before the call
 // has been observed, then refreshes the aggregate gauges. The analogue of
-// ShardedHeadEnd.Flush one tier up.
-func (s *Server) Flush() {
+// ShardedHeadEnd.Flush one tier up. Unbounded by design; use FlushContext
+// to cap the wait.
+func (s *Server) Flush() { _ = s.FlushContext(context.Background()) }
+
+// FlushContext is Flush with a bound: it returns ctx.Err() as soon as ctx
+// is done, whether the barrier is stuck enqueuing behind full worker
+// queues or waiting on a sentinel. On early return the sentinels already
+// enqueued still drain normally; only the wait is abandoned.
+func (s *Server) FlushContext(ctx context.Context) error {
 	s.sinkMu.RLock()
 	if s.closed {
 		s.sinkMu.RUnlock()
-		return
+		return nil
 	}
 	chans := make([]chan struct{}, len(s.queues))
 	for i, q := range s.queues {
 		chans[i] = make(chan struct{})
-		q <- job{flush: chans[i]}
+		//lint:ignore lockhold the flush sentinel must enqueue under sinkMu so Close cannot close the queues mid-send; the workers drain without taking sinkMu, so the send always unblocks
+		select {
+		case q <- job{flush: chans[i]}:
+		case <-ctx.Done():
+			s.sinkMu.RUnlock()
+			return ctx.Err()
+		}
 	}
 	s.sinkMu.RUnlock()
 	for _, c := range chans {
-		<-c
+		select {
+		case <-c:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.UpdateAggregates()
+	return nil
 }
 
 // UpdateAggregates sweeps every consumer and publishes the fleet-level
